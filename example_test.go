@@ -1,0 +1,64 @@
+package temporaldoc_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+
+	"temporaldoc"
+)
+
+// ExamplePreprocess shows the paper's pre-processing: markup and
+// non-textual data removed, stop words dropped, no stemming.
+func ExamplePreprocess() {
+	words := temporaldoc.Preprocess(
+		"<TITLE>WHEAT EXPORTS</TITLE><BODY>The company shipped 3,000 tonnes of wheat.</BODY>")
+	fmt.Println(strings.Join(words, " "))
+	// Output: wheat exports company shipped tonnes wheat
+}
+
+// ExampleGenerateReutersLike shows deterministic corpus generation.
+func ExampleGenerateReutersLike() {
+	c, err := temporaldoc.GenerateReutersLike(temporaldoc.GenConfig{Scale: 0.01, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(c.Categories), "categories")
+	fmt.Println(c.Categories[0])
+	// Output:
+	// 10 categories
+	// earn
+}
+
+// Example_endToEnd sketches the full train/classify/persist flow. The
+// GP budget here is far below the paper's; see PaperConfig for the real
+// parameters. (No Output comment: training time varies, so this example
+// compiles but does not run under `go test`.)
+func Example_endToEnd() {
+	corpus, err := temporaldoc.GenerateReutersLike(temporaldoc.GenConfig{Scale: 0.02, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := temporaldoc.Train(temporaldoc.FastConfig(temporaldoc.DF), corpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	labels, err := model.Classify(&corpus.Test[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := temporaldoc.SaveModel(&buf, model); err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := temporaldoc.LoadModel(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	again, err := reloaded.Classify(&corpus.Test[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(labels) == len(again))
+}

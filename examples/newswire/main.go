@@ -1,0 +1,128 @@
+// Newswire word tracking: reproduce the paper's Figure 6 scenario — a
+// multi-label document (e.g. grain + wheat + trade) is run through each
+// of its category classifiers in parallel, and the output register is
+// inspected after every word to watch the context change through the
+// document.
+//
+//	go run ./examples/newswire
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"temporaldoc"
+)
+
+func main() {
+	corpus, err := temporaldoc.GenerateReutersLike(temporaldoc.GenConfig{
+		Scale: 0.015,
+		Seed:  7,
+	})
+	if err != nil {
+		log.Fatalf("generate corpus: %v", err)
+	}
+
+	cfg := temporaldoc.FastConfig(temporaldoc.MI) // Figure 6 uses MI features
+	cfg.GP.Tournaments = 600
+	model, err := temporaldoc.Train(cfg, corpus)
+	if err != nil {
+		log.Fatalf("train: %v", err)
+	}
+
+	// Find a test document with three labels (grain + wheat + trade in
+	// the synthetic corpus), falling back to any multi-label document.
+	var doc *temporaldoc.Document
+	for i := range corpus.Test {
+		if len(corpus.Test[i].Categories) >= 3 {
+			doc = &corpus.Test[i]
+			break
+		}
+	}
+	if doc == nil {
+		for i := range corpus.Test {
+			if len(corpus.Test[i].Categories) >= 2 {
+				doc = &corpus.Test[i]
+				break
+			}
+		}
+	}
+	if doc == nil {
+		log.Fatal("no multi-label test document found")
+	}
+	fmt.Printf("document %s, labels %v, %d words\n\n", doc.ID, doc.Categories, len(doc.Words))
+
+	// Trace the document through each of its true-label classifiers.
+	for _, cat := range doc.Categories {
+		trace, err := model.Trace(cat, doc)
+		if err != nil {
+			log.Fatalf("trace %s: %v", cat, err)
+		}
+		fmt.Printf("classifier %q (%d member words):\n", cat, len(trace))
+		var inWords []string
+		for _, p := range trace {
+			if p.InClass {
+				inWords = append(inWords, p.Word)
+			}
+		}
+		fmt.Printf("  words driving the output in-class: %s\n",
+			strings.Join(dedupe(inWords), " "))
+		if len(trace) > 0 {
+			fmt.Printf("  final output %+.3f\n\n", trace[len(trace)-1].Output)
+		} else {
+			fmt.Printf("  (no member words)\n\n")
+		}
+	}
+
+	// Show where each classifier "switches on" along the document — the
+	// context-change view of Figure 6.
+	fmt.Println("per-word in-class markers (columns = document's categories):")
+	traces := map[string][]temporaldoc.TracePoint{}
+	longest := 0
+	for _, cat := range doc.Categories {
+		tr, err := model.Trace(cat, doc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traces[cat] = tr
+		if len(tr) > longest {
+			longest = len(tr)
+		}
+	}
+	header := "  word            "
+	for _, cat := range doc.Categories {
+		header += fmt.Sprintf(" %-9s", cat)
+	}
+	fmt.Println(header)
+	// Member-word streams differ per category; display the first
+	// category's word stream with each classifier's state where defined.
+	ref := traces[doc.Categories[0]]
+	for i := 0; i < len(ref) && i < 30; i++ {
+		line := fmt.Sprintf("  %-15s", ref[i].Word)
+		for _, cat := range doc.Categories {
+			tr := traces[cat]
+			mark := "    .    "
+			if i < len(tr) && tr[i].InClass {
+				mark = "    #    "
+			}
+			line += fmt.Sprintf(" %-9s", strings.TrimRight(mark, " "))
+		}
+		fmt.Println(line)
+	}
+}
+
+func dedupe(ws []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, w := range ws {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	if len(out) > 12 {
+		out = out[:12]
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+// Quickstart: generate a small Reuters-like corpus, train the temporal
+// classifier, classify a test document and report per-category F1.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"temporaldoc"
+)
+
+func main() {
+	// A 1.5%-scale corpus keeps the example under a minute.
+	corpus, err := temporaldoc.GenerateReutersLike(temporaldoc.GenConfig{
+		Scale: 0.015,
+		Seed:  1,
+	})
+	if err != nil {
+		log.Fatalf("generate corpus: %v", err)
+	}
+	fmt.Printf("corpus: %d train / %d test documents, categories %v\n",
+		len(corpus.Train), len(corpus.Test), corpus.Categories)
+
+	// FastConfig keeps the paper's architecture (7x13 character SOM,
+	// 8x8 word SOMs, RLGP classifiers) with a reduced GP budget.
+	cfg := temporaldoc.FastConfig(temporaldoc.DF)
+	cfg.GP.Tournaments = 600 // trimmed further for the example
+
+	model, err := temporaldoc.Train(cfg, corpus)
+	if err != nil {
+		log.Fatalf("train: %v", err)
+	}
+
+	// Classify one test document: the model runs it through all ten
+	// binary classifiers in parallel, so multi-label documents receive
+	// multiple categories.
+	doc := &corpus.Test[0]
+	labels, err := model.Classify(doc)
+	if err != nil {
+		log.Fatalf("classify: %v", err)
+	}
+	fmt.Printf("\ndocument %s\n  true labels:      %v\n  predicted labels: %v\n",
+		doc.ID, doc.Categories, labels)
+
+	// The evolved rule for a category is a short register program, as in
+	// the paper's section 8.1 example.
+	rule, err := model.Rule("earn")
+	if err != nil {
+		log.Fatalf("rule: %v", err)
+	}
+	fmt.Printf("\nevolved rule for 'earn':\n  %s\n", rule)
+
+	// Full test-set evaluation.
+	set, err := model.Evaluate(corpus.Test)
+	if err != nil {
+		log.Fatalf("evaluate: %v", err)
+	}
+	fmt.Printf("\n%-12s %6s %6s %6s\n", "category", "R", "P", "F1")
+	for _, cat := range corpus.Categories {
+		t := set.Table(cat)
+		fmt.Printf("%-12s %6.2f %6.2f %6.2f\n", cat, t.Recall(), t.Precision(), t.F1())
+	}
+	fmt.Printf("macro F1 = %.2f, micro F1 = %.2f\n", set.MacroF1(), set.MicroF1())
+}

@@ -1,0 +1,73 @@
+// Streaming classification: the online form of the paper's word
+// tracking. A trained model is wrapped in a Stream that consumes words
+// one at a time — register state persists across the stream, exactly as
+// inside the RLGP — so a live feed can be classified and tracked without
+// ever materialising whole documents.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"temporaldoc"
+)
+
+func main() {
+	corpus, err := temporaldoc.GenerateReutersLike(temporaldoc.GenConfig{
+		Scale: 0.015,
+		Seed:  13,
+	})
+	if err != nil {
+		log.Fatalf("generate corpus: %v", err)
+	}
+	cfg := temporaldoc.FastConfig(temporaldoc.MI)
+	cfg.GP.Tournaments = 600
+	model, err := temporaldoc.Train(cfg, corpus)
+	if err != nil {
+		log.Fatalf("train: %v", err)
+	}
+
+	// Simulate a live feed: three documents arrive word by word,
+	// separated by document boundaries.
+	stream, err := model.NewStream("earn", "crude", "grain")
+	if err != nil {
+		log.Fatalf("stream: %v", err)
+	}
+	for n, doc := range corpus.Test[:3] {
+		stream.Reset() // document boundary
+		fmt.Printf("=== document %s (true labels %v) ===\n", doc.ID, doc.Categories)
+		events := 0
+		for _, word := range doc.Words {
+			changed, err := stream.Push(word)
+			if err != nil {
+				log.Fatalf("push: %v", err)
+			}
+			// Report only state *changes* (a monitoring UI would do the
+			// same): a classifier crossing its threshold.
+			for cat, st := range changed {
+				if events < 8 { // keep the demo short
+					fmt.Printf("  word %3d %-12s -> %-6s output %+.3f in-class=%v\n",
+						stream.Words(), word, cat, st.Output, st.InClass)
+				}
+				events++
+				_ = cat
+			}
+		}
+		final := stream.State()
+		fmt.Printf("  final states after %d words:\n", stream.Words())
+		for _, cat := range []string{"earn", "crude", "grain"} {
+			st := final[cat]
+			verdict := "out"
+			if st.InClass {
+				verdict = "IN"
+			}
+			fmt.Printf("    %-6s %-3s (output %+.3f, %d member words)\n",
+				cat, verdict, st.Output, st.Members)
+		}
+		if n == 2 {
+			break
+		}
+	}
+}

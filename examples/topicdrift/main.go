@@ -1,0 +1,133 @@
+// Topic drift detection: the paper's conclusion proposes the system for
+// Topic Detection and Tracking (TDT). This example builds a synthetic
+// "news stream" document that drifts from one topic to another halfway
+// through, and uses the per-word output register of each classifier to
+// locate the drift point — no segmentation supervision involved.
+//
+//	go run ./examples/topicdrift
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"temporaldoc"
+)
+
+func main() {
+	corpus, err := temporaldoc.GenerateReutersLike(temporaldoc.GenConfig{
+		Scale: 0.015,
+		Seed:  21,
+	})
+	if err != nil {
+		log.Fatalf("generate corpus: %v", err)
+	}
+
+	// MI selects features per category, so the earn and crude classifiers
+	// each keep their own topical vocabulary along the stream.
+	cfg := temporaldoc.FastConfig(temporaldoc.MI)
+	cfg.GP.Tournaments = 600
+	model, err := temporaldoc.Train(cfg, corpus)
+	if err != nil {
+		log.Fatalf("train: %v", err)
+	}
+
+	// Splice a drifting document: the first half of an earn story
+	// followed by the second half of a crude story.
+	earnDoc := firstSingleLabel(corpus, "earn")
+	crudeDoc := firstSingleLabel(corpus, "crude")
+	if earnDoc == nil || crudeDoc == nil {
+		log.Fatal("missing source documents")
+	}
+	drift := temporaldoc.Document{
+		ID:    "stream-drift-1",
+		Words: append(append([]string{}, earnDoc.Words[:len(earnDoc.Words)/2]...), crudeDoc.Words[len(crudeDoc.Words)/2:]...),
+	}
+	fmt.Printf("spliced stream: %d words (earn first half + crude second half)\n\n", len(drift.Words))
+
+	// Run both classifiers over the stream and locate where each one's
+	// output crosses its threshold.
+	for _, cat := range []string{"earn", "crude"} {
+		trace, err := model.Trace(cat, &drift)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Printf("classifier %q over the stream (%d member words):\n", cat, len(trace))
+		prev := false
+		for i, p := range trace {
+			if p.InClass != prev {
+				state := "OFF -> ON"
+				if !p.InClass {
+					state = "ON -> OFF"
+				}
+				fmt.Printf("  switch %s at member word %d (%q), output %+.3f\n",
+					state, i+1, p.Word, p.Output)
+				prev = p.InClass
+			}
+		}
+		if len(trace) > 0 {
+			fmt.Printf("  final: output %+.3f, in-class=%v\n\n",
+				trace[len(trace)-1].Output, trace[len(trace)-1].InClass)
+		} else {
+			fmt.Printf("  (no member words)\n\n")
+		}
+	}
+
+	// A simple drift detector: the earn classifier's in-class fraction
+	// over a sliding window of member words.
+	trace, err := model.Trace("earn", &drift)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const window = 5
+	fmt.Println("earn in-class fraction over a sliding window of member words:")
+	for i := 0; i+window <= len(trace); i += window {
+		in := 0
+		for _, p := range trace[i : i+window] {
+			if p.InClass {
+				in++
+			}
+		}
+		fmt.Printf("  words %2d-%2d: %.0f%%\n", i+1, i+window, 100*float64(in)/window)
+	}
+
+	// The library's TDT detector packages this analysis: topical
+	// segments and drift events with no segmentation supervision.
+	detector, err := temporaldoc.NewDriftDetector(model, temporaldoc.DriftConfig{
+		Categories: []string{"earn", "crude"},
+	})
+	if err != nil {
+		log.Fatalf("detector: %v", err)
+	}
+	segs, err := detector.Segments(&drift)
+	if err != nil {
+		log.Fatalf("segments: %v", err)
+	}
+	fmt.Println("\ndetected topical segments:")
+	for _, s := range segs {
+		fmt.Printf("  %-8s words %3d-%3d  confidence %+.2f (%d member words)\n",
+			s.Category, s.StartWord, s.EndWord, s.Confidence, s.MemberWords)
+	}
+	drifts, err := detector.Drifts(&drift)
+	if err != nil {
+		log.Fatalf("drifts: %v", err)
+	}
+	fmt.Println("\ndetected topic drifts:")
+	for _, d := range drifts {
+		from := d.From
+		if from == "" {
+			from = "(start)"
+		}
+		fmt.Printf("  at word %3d: %s -> %s\n", d.WordIndex, from, d.To)
+	}
+}
+
+func firstSingleLabel(c *temporaldoc.Corpus, cat string) *temporaldoc.Document {
+	for i := range c.Test {
+		d := &c.Test[i]
+		if len(d.Categories) == 1 && d.Categories[0] == cat && len(d.Words) >= 20 {
+			return d
+		}
+	}
+	return nil
+}

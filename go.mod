@@ -1,0 +1,3 @@
+module temporaldoc
+
+go 1.22

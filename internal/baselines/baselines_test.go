@@ -1,0 +1,328 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"temporaldoc/internal/corpus"
+)
+
+// syntheticTrain builds a linearly separable two-topic training set with
+// some shared vocabulary.
+func syntheticTrain(rng *rand.Rand, nPerClass int) []corpus.Document {
+	earnWords := []string{"profit", "dividend", "quarter", "shares", "net"}
+	grainWords := []string{"wheat", "tonnes", "crop", "harvest", "export"}
+	shared := []string{"company", "year", "market", "report"}
+	var docs []corpus.Document
+	mk := func(id string, topical []string, cat string) corpus.Document {
+		words := make([]string, 0, 12)
+		for k := 0; k < 8; k++ {
+			words = append(words, topical[rng.Intn(len(topical))])
+		}
+		for k := 0; k < 4; k++ {
+			words = append(words, shared[rng.Intn(len(shared))])
+		}
+		return corpus.Document{ID: id, Words: words, Categories: []string{cat}}
+	}
+	for i := 0; i < nPerClass; i++ {
+		docs = append(docs,
+			mk("e"+itoa(i), earnWords, "earn"),
+			mk("g"+itoa(i), grainWords, "grain"))
+	}
+	return docs
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func allFeatures() []string {
+	return []string{
+		"profit", "dividend", "quarter", "shares", "net",
+		"wheat", "tonnes", "crop", "harvest", "export",
+		"company", "year", "market", "report",
+	}
+}
+
+// classifiers under test, constructed fresh per invocation.
+func makeClassifiers() map[string]Classifier {
+	return map[string]Classifier{
+		"naive-bayes":   NewNaiveBayes(allFeatures()),
+		"rocchio":       NewRocchio(allFeatures(), 0, 0),
+		"linear-svm":    NewLinearSVM(allFeatures(), SVMConfig{Seed: 1}),
+		"decision-tree": NewDecisionTree(allFeatures(), TreeConfig{}),
+		"tree-gp":       NewTreeGP(TreeGPConfig{Seed: 1, Generations: 15, PopulationSize: 40}),
+		"knn":           NewKNN(allFeatures(), KNNConfig{K: 5}),
+	}
+}
+
+func TestAllClassifiersLearnSeparableTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := syntheticTrain(rng, 25)
+	test := syntheticTrain(rng, 10)
+	for name, clf := range makeClassifiers() {
+		t.Run(name, func(t *testing.T) {
+			if err := clf.Train(train, "earn"); err != nil {
+				t.Fatalf("Train: %v", err)
+			}
+			correct := 0
+			for _, d := range test {
+				if clf.Predict(d.Words) == d.HasCategory("earn") {
+					correct++
+				}
+			}
+			if acc := float64(correct) / float64(len(test)); acc < 0.9 {
+				t.Errorf("%s accuracy = %v on separable task", name, acc)
+			}
+		})
+	}
+}
+
+func TestClassifiersRejectSingleClassTraining(t *testing.T) {
+	docs := []corpus.Document{
+		{ID: "1", Words: []string{"profit"}, Categories: []string{"earn"}},
+		{ID: "2", Words: []string{"dividend"}, Categories: []string{"earn"}},
+	}
+	for name, clf := range makeClassifiers() {
+		if err := clf.Train(docs, "earn"); err == nil {
+			t.Errorf("%s accepted training without negatives", name)
+		}
+		if err := clf.Train(docs, "grain"); err == nil {
+			t.Errorf("%s accepted training without positives", name)
+		}
+	}
+}
+
+func TestScoreSignAgreesWithPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train := syntheticTrain(rng, 20)
+	probe := [][]string{
+		{"profit", "dividend", "net"},
+		{"wheat", "tonnes", "crop"},
+		{"company", "year"},
+	}
+	for name, clf := range makeClassifiers() {
+		if err := clf.Train(train, "earn"); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, words := range probe {
+			if (clf.Score(words) > 0) != clf.Predict(words) {
+				t.Errorf("%s: Score/Predict disagree on %v", name, words)
+			}
+		}
+	}
+}
+
+func TestUntrainedClassifiersScoreZero(t *testing.T) {
+	for name, clf := range makeClassifiers() {
+		if got := clf.Score([]string{"profit"}); got != 0 {
+			t.Errorf("%s untrained Score = %v", name, got)
+		}
+	}
+}
+
+func TestClassifierNames(t *testing.T) {
+	for want, clf := range makeClassifiers() {
+		if got := clf.Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+}
+
+// --- vectorizer ---
+
+func TestVectorizerCounts(t *testing.T) {
+	v := NewVectorizer([]string{"a", "b"})
+	got := v.Counts([]string{"a", "a", "b", "zz"})
+	if got[0] != 2 || got[1] != 1 {
+		t.Errorf("Counts = %v", got)
+	}
+}
+
+func TestVectorizerPresence(t *testing.T) {
+	v := NewVectorizer([]string{"a", "b"})
+	got := v.Presence([]string{"a", "a"})
+	if got[0] != 1 || got[1] != 0 {
+		t.Errorf("Presence = %v", got)
+	}
+}
+
+func TestVectorizerTFIDFNormalised(t *testing.T) {
+	v := NewVectorizer([]string{"a", "b", "c"})
+	docs := []corpus.Document{
+		{ID: "1", Words: []string{"a", "b"}},
+		{ID: "2", Words: []string{"a", "c"}},
+		{ID: "3", Words: []string{"a"}},
+	}
+	v.FitIDF(docs)
+	vec := v.TFIDF([]string{"a", "b", "b"})
+	var norm float64
+	for _, x := range vec {
+		norm += x * x
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Errorf("TFIDF norm = %v", norm)
+	}
+	// "b" (rarer) must outweigh "a" (ubiquitous) despite fewer counts?
+	// Here b has count 2 and higher idf, so b must dominate.
+	if vec[1] <= vec[0] {
+		t.Errorf("idf weighting missing: %v", vec)
+	}
+}
+
+func TestVectorizerTFIDFEmptyDoc(t *testing.T) {
+	v := NewVectorizer([]string{"a"})
+	vec := v.TFIDF(nil)
+	if vec[0] != 0 {
+		t.Errorf("TFIDF(empty) = %v", vec)
+	}
+}
+
+// --- threshold tuning ---
+
+func TestBestF1ThresholdSeparable(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	thr := bestF1Threshold(scores, labels)
+	if thr <= 0.2 || thr >= 0.8 {
+		t.Errorf("threshold = %v, want in (0.2, 0.8)", thr)
+	}
+}
+
+func TestBestF1ThresholdAllPositive(t *testing.T) {
+	thr := bestF1Threshold([]float64{1, 2, 3}, []bool{true, true, true})
+	// All examples should be classified positive.
+	for _, s := range []float64{1, 2, 3} {
+		if s <= thr {
+			t.Errorf("threshold %v excludes positive score %v", thr, s)
+		}
+	}
+}
+
+func TestBestF1ThresholdEmpty(t *testing.T) {
+	if thr := bestF1Threshold(nil, nil); thr != 0 {
+		t.Errorf("empty threshold = %v", thr)
+	}
+}
+
+func TestBestF1ThresholdTiedScores(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5, 0.1}
+	labels := []bool{true, true, false, false}
+	thr := bestF1Threshold(scores, labels)
+	// Tied scores must fall on the same side of the threshold.
+	side := scores[0] > thr
+	for i := 1; i < 3; i++ {
+		if (scores[i] > thr) != side {
+			t.Error("tied scores split by threshold")
+		}
+	}
+}
+
+// --- decision tree specifics ---
+
+func TestDecisionTreeDepthBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	train := syntheticTrain(rng, 30)
+	dt := NewDecisionTree(allFeatures(), TreeConfig{MaxDepth: 3})
+	if err := dt.Train(train, "earn"); err != nil {
+		t.Fatal(err)
+	}
+	if d := dt.Depth(); d > 3 {
+		t.Errorf("depth %d exceeds bound", d)
+	}
+}
+
+// --- naive bayes specifics ---
+
+func TestNaiveBayesPriorOnEmptyDoc(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// 3:1 positive skew: prior should classify an empty document in-class.
+	var train []corpus.Document
+	for i := 0; i < 30; i++ {
+		train = append(train, corpus.Document{
+			ID: "p" + itoa(i), Words: []string{"profit"}, Categories: []string{"earn"}})
+	}
+	for i := 0; i < 10; i++ {
+		train = append(train, corpus.Document{
+			ID: "n" + itoa(i), Words: []string{"wheat"}, Categories: []string{"grain"}})
+	}
+	_ = rng
+	nb := NewNaiveBayes([]string{"profit", "wheat"})
+	if err := nb.Train(train, "earn"); err != nil {
+		t.Fatal(err)
+	}
+	if !nb.Predict(nil) {
+		t.Error("empty doc not classified by prior")
+	}
+}
+
+// --- knn specifics ---
+
+func TestKNNDefaultK(t *testing.T) {
+	k := NewKNN(allFeatures(), KNNConfig{})
+	if k.cfg.K != 15 {
+		t.Errorf("default K = %d", k.cfg.K)
+	}
+}
+
+func TestKNNNearestNeighbourVote(t *testing.T) {
+	// With K=1 a test document identical to a training document takes
+	// its label.
+	train := []corpus.Document{
+		{ID: "1", Words: []string{"profit", "dividend"}, Categories: []string{"earn"}},
+		{ID: "2", Words: []string{"wheat", "tonnes"}, Categories: []string{"grain"}},
+		{ID: "3", Words: []string{"profit", "net"}, Categories: []string{"earn"}},
+		{ID: "4", Words: []string{"crop", "tonnes"}, Categories: []string{"grain"}},
+	}
+	k := NewKNN([]string{"profit", "dividend", "wheat", "tonnes", "net", "crop"}, KNNConfig{K: 1})
+	if err := k.Train(train, "earn"); err != nil {
+		t.Fatal(err)
+	}
+	if !k.Predict([]string{"profit", "dividend"}) {
+		t.Error("exact earn duplicate not accepted")
+	}
+	if k.Predict([]string{"wheat", "tonnes"}) {
+		t.Error("exact grain duplicate accepted as earn")
+	}
+}
+
+// --- tree gp specifics ---
+
+func TestTreeGPDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	train := syntheticTrain(rng, 15)
+	run := func() float64 {
+		gp := NewTreeGP(TreeGPConfig{Seed: 9, Generations: 8, PopulationSize: 30})
+		if err := gp.Train(train, "earn"); err != nil {
+			t.Fatal(err)
+		}
+		return gp.Score([]string{"profit", "dividend"})
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("TreeGP not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestTreeGPBestSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	train := syntheticTrain(rng, 10)
+	gp := NewTreeGP(TreeGPConfig{Seed: 2, Generations: 5, PopulationSize: 20})
+	if gp.BestSize() != 0 {
+		t.Error("untrained BestSize != 0")
+	}
+	if err := gp.Train(train, "earn"); err != nil {
+		t.Fatal(err)
+	}
+	if gp.BestSize() == 0 {
+		t.Error("trained BestSize == 0")
+	}
+}

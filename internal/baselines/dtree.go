@@ -1,0 +1,163 @@
+package baselines
+
+import (
+	"math"
+
+	"temporaldoc/internal/corpus"
+)
+
+// TreeConfig parameterises the decision-tree baseline.
+type TreeConfig struct {
+	// MaxDepth bounds tree depth. Zero means 12.
+	MaxDepth int
+	// MinSamples stops splitting below this node size. Zero means 4.
+	MinSamples int
+}
+
+// DecisionTree is an entropy-based (C4.5-style) decision tree over binary
+// word-presence features — the DT baseline of Table 5.
+type DecisionTree struct {
+	cfg     TreeConfig
+	vec     *Vectorizer
+	root    *treeNode
+	trained bool
+}
+
+type treeNode struct {
+	// feature is the split feature index, or -1 for a leaf.
+	feature int
+	// present and absent are the children for feature present/absent.
+	present, absent *treeNode
+	// prob is the leaf's in-class probability estimate.
+	prob float64
+}
+
+// NewDecisionTree builds a decision tree over the feature set.
+func NewDecisionTree(features []string, cfg TreeConfig) *DecisionTree {
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 12
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 4
+	}
+	return &DecisionTree{cfg: cfg, vec: NewVectorizer(features)}
+}
+
+// Name implements Classifier.
+func (dt *DecisionTree) Name() string { return "decision-tree" }
+
+// Train implements Classifier.
+func (dt *DecisionTree) Train(train []corpus.Document, category string) error {
+	if _, _, err := splitByLabel(train, category); err != nil {
+		return err
+	}
+	n := len(train)
+	xs := make([][]float64, n)
+	ys := make([]bool, n)
+	for i := range train {
+		xs[i] = dt.vec.Presence(train[i].Words)
+		ys[i] = train[i].HasCategory(category)
+	}
+	idxs := make([]int, n)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	dt.root = dt.grow(xs, ys, idxs, 0)
+	dt.trained = true
+	return nil
+}
+
+func entropy(pos, total int) float64 {
+	if total == 0 || pos == 0 || pos == total {
+		return 0
+	}
+	p := float64(pos) / float64(total)
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+func (dt *DecisionTree) grow(xs [][]float64, ys []bool, idxs []int, depth int) *treeNode {
+	pos := 0
+	for _, i := range idxs {
+		if ys[i] {
+			pos++
+		}
+	}
+	leaf := &treeNode{feature: -1, prob: float64(pos) / float64(len(idxs))}
+	if depth >= dt.cfg.MaxDepth || len(idxs) < dt.cfg.MinSamples || pos == 0 || pos == len(idxs) {
+		return leaf
+	}
+	baseH := entropy(pos, len(idxs))
+	bestGain, bestFeat := 0.0, -1
+	for f := 0; f < dt.vec.Dim(); f++ {
+		var nPresent, posPresent int
+		for _, i := range idxs {
+			if xs[i][f] > 0 {
+				nPresent++
+				if ys[i] {
+					posPresent++
+				}
+			}
+		}
+		nAbsent := len(idxs) - nPresent
+		if nPresent == 0 || nAbsent == 0 {
+			continue
+		}
+		posAbsent := pos - posPresent
+		hSplit := (float64(nPresent)*entropy(posPresent, nPresent) +
+			float64(nAbsent)*entropy(posAbsent, nAbsent)) / float64(len(idxs))
+		if gain := baseH - hSplit; gain > bestGain+1e-12 {
+			bestGain, bestFeat = gain, f
+		}
+	}
+	if bestFeat < 0 {
+		return leaf
+	}
+	var presentIdx, absentIdx []int
+	for _, i := range idxs {
+		if xs[i][bestFeat] > 0 {
+			presentIdx = append(presentIdx, i)
+		} else {
+			absentIdx = append(absentIdx, i)
+		}
+	}
+	return &treeNode{
+		feature: bestFeat,
+		prob:    leaf.prob,
+		present: dt.grow(xs, ys, presentIdx, depth+1),
+		absent:  dt.grow(xs, ys, absentIdx, depth+1),
+	}
+}
+
+// Score implements Classifier: the leaf in-class probability minus 0.5.
+func (dt *DecisionTree) Score(words []string) float64 {
+	if !dt.trained {
+		return 0
+	}
+	x := dt.vec.Presence(words)
+	node := dt.root
+	for node.feature >= 0 {
+		if x[node.feature] > 0 {
+			node = node.present
+		} else {
+			node = node.absent
+		}
+	}
+	return node.prob - 0.5
+}
+
+// Predict implements Classifier.
+func (dt *DecisionTree) Predict(words []string) bool { return dt.Score(words) > 0 }
+
+// Depth returns the trained tree's depth (diagnostic).
+func (dt *DecisionTree) Depth() int { return nodeDepth(dt.root) }
+
+func nodeDepth(n *treeNode) int {
+	if n == nil || n.feature < 0 {
+		return 0
+	}
+	d1, d2 := nodeDepth(n.present), nodeDepth(n.absent)
+	if d2 > d1 {
+		d1 = d2
+	}
+	return 1 + d1
+}

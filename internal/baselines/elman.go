@@ -1,0 +1,321 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"temporaldoc/internal/corpus"
+)
+
+// ElmanConfig parameterises the recurrent-network baseline.
+type ElmanConfig struct {
+	// Hidden is the recurrent layer width. Zero means 8.
+	Hidden int
+	// Epochs of online BPTT. Zero means 30.
+	Epochs int
+	// LearningRate for SGD. Zero means 0.05.
+	LearningRate float64
+	// MaxWords truncates documents (BPTT runs over the full sequence).
+	// Zero means 50.
+	MaxWords int
+	// Seed drives weight initialisation and example order.
+	Seed int64
+}
+
+// Elman is a simple recurrent network text classifier in the spirit of
+// Wermter et al. (1995/1999), the recurrent approach the paper's
+// related-work section discusses: each word is represented by its
+// "significance vector" — the distribution of categories it appears
+// under in training — and fed sequentially into an Elman network whose
+// hidden state persists across the document; the output unit after the
+// last word decides membership. The paper criticises exactly this input
+// coding ("this could mislead the classification process according to
+// the category sequences instead of the actual word sequences"), which
+// makes the network a meaningful temporal baseline.
+type Elman struct {
+	cfg ElmanConfig
+	// significance vectors: word -> category distribution.
+	sig    map[string][]float64
+	nCats  int
+	unifor []float64
+	// parameters
+	wx, wh    [][]float64 // hidden×input, hidden×hidden
+	bh        []float64
+	wo        []float64
+	bo        float64
+	threshold float64
+	trained   bool
+}
+
+// NewElman builds an Elman recurrent network baseline.
+func NewElman(cfg ElmanConfig) *Elman {
+	if cfg.Hidden <= 0 {
+		cfg.Hidden = 8
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 30
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.05
+	}
+	if cfg.MaxWords <= 0 {
+		cfg.MaxWords = 50
+	}
+	return &Elman{cfg: cfg}
+}
+
+// Name implements Classifier.
+func (e *Elman) Name() string { return "elman-rnn" }
+
+// buildSignificance computes Wermter-style significance vectors: for
+// each word, the normalised distribution of label assignments of the
+// training documents containing it.
+func (e *Elman) buildSignificance(train []corpus.Document) {
+	catIdx := make(map[string]int)
+	for i := range train {
+		for _, c := range train[i].Categories {
+			if _, ok := catIdx[c]; !ok {
+				catIdx[c] = len(catIdx)
+			}
+		}
+	}
+	// Deterministic category order.
+	cats := make([]string, 0, len(catIdx))
+	for c := range catIdx {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for i, c := range cats {
+		catIdx[c] = i
+	}
+	e.nCats = len(cats)
+	counts := make(map[string][]float64)
+	for i := range train {
+		for _, w := range train[i].Words {
+			row, ok := counts[w]
+			if !ok {
+				row = make([]float64, e.nCats)
+				counts[w] = row
+			}
+			for _, c := range train[i].Categories {
+				row[catIdx[c]]++
+			}
+		}
+	}
+	e.sig = make(map[string][]float64, len(counts))
+	for w, row := range counts {
+		var sum float64
+		for _, v := range row {
+			sum += v
+		}
+		if sum == 0 {
+			continue
+		}
+		norm := make([]float64, e.nCats)
+		for i, v := range row {
+			norm[i] = v / sum
+		}
+		e.sig[w] = norm
+	}
+	e.unifor = make([]float64, e.nCats)
+	for i := range e.unifor {
+		e.unifor[i] = 1 / float64(e.nCats)
+	}
+}
+
+func (e *Elman) input(word string) []float64 {
+	if v, ok := e.sig[word]; ok {
+		return v
+	}
+	return e.unifor
+}
+
+// forward runs the network over the word sequence, returning the hidden
+// states (h[0] is the zero initial state, h[t] after word t) and the
+// final output.
+func (e *Elman) forward(words []string) (hs [][]float64, y float64) {
+	h := make([]float64, e.cfg.Hidden)
+	hs = append(hs, append([]float64(nil), h...))
+	for _, w := range words {
+		x := e.input(w)
+		next := make([]float64, e.cfg.Hidden)
+		for i := 0; i < e.cfg.Hidden; i++ {
+			pre := e.bh[i]
+			for j, xv := range x {
+				pre += e.wx[i][j] * xv
+			}
+			for j, hv := range h {
+				pre += e.wh[i][j] * hv
+			}
+			next[i] = math.Tanh(pre)
+		}
+		h = next
+		hs = append(hs, append([]float64(nil), h...))
+	}
+	pre := e.bo
+	for i, hv := range h {
+		pre += e.wo[i] * hv
+	}
+	return hs, math.Tanh(pre)
+}
+
+func (e *Elman) truncate(words []string) []string {
+	if len(words) > e.cfg.MaxWords {
+		return words[:e.cfg.MaxWords]
+	}
+	return words
+}
+
+// Train implements Classifier: online backpropagation through time over
+// the full (truncated) sequence of each document.
+func (e *Elman) Train(train []corpus.Document, category string) error {
+	if _, _, err := splitByLabel(train, category); err != nil {
+		return err
+	}
+	e.buildSignificance(train)
+	rng := rand.New(rand.NewSource(e.cfg.Seed + 1))
+	h := e.cfg.Hidden
+	initW := func(rows, cols int) [][]float64 {
+		m := make([][]float64, rows)
+		for i := range m {
+			m[i] = make([]float64, cols)
+			for j := range m[i] {
+				m[i][j] = (rng.Float64()*2 - 1) * 0.5
+			}
+		}
+		return m
+	}
+	e.wx = initW(h, e.nCats)
+	e.wh = initW(h, h)
+	e.bh = make([]float64, h)
+	e.wo = make([]float64, h)
+	for i := range e.wo {
+		e.wo[i] = (rng.Float64()*2 - 1) * 0.5
+	}
+	e.bo = 0
+
+	order := rng.Perm(len(train))
+	for epoch := 0; epoch < e.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			words := e.truncate(train[idx].Words)
+			if len(words) == 0 {
+				continue
+			}
+			target := -1.0
+			if train[idx].HasCategory(category) {
+				target = 1.0
+			}
+			e.bptt(words, target)
+		}
+	}
+	// Tune the decision threshold on training outputs.
+	scores := make([]float64, len(train))
+	labels := make([]bool, len(train))
+	for i := range train {
+		_, y := e.forward(e.truncate(train[i].Words))
+		scores[i] = y
+		labels[i] = train[i].HasCategory(category)
+	}
+	e.threshold = bestF1Threshold(scores, labels)
+	e.trained = true
+	return nil
+}
+
+// bptt applies one stochastic gradient step on (words, target) by full
+// backpropagation through time with gradient-norm clipping.
+func (e *Elman) bptt(words []string, target float64) {
+	hs, y := e.forward(words)
+	h := e.cfg.Hidden
+	gwx := make([][]float64, h)
+	gwh := make([][]float64, h)
+	for i := 0; i < h; i++ {
+		gwx[i] = make([]float64, e.nCats)
+		gwh[i] = make([]float64, h)
+	}
+	gbh := make([]float64, h)
+	gwo := make([]float64, h)
+
+	dL := 2 * (y - target)
+	deltaO := dL * (1 - y*y)
+	last := hs[len(hs)-1]
+	for i := 0; i < h; i++ {
+		gwo[i] = deltaO * last[i]
+	}
+	gbo := deltaO
+	dh := make([]float64, h)
+	for i := 0; i < h; i++ {
+		dh[i] = deltaO * e.wo[i]
+	}
+	for t := len(words); t >= 1; t-- {
+		ht := hs[t]
+		hprev := hs[t-1]
+		x := e.input(words[t-1])
+		dpre := make([]float64, h)
+		for i := 0; i < h; i++ {
+			dpre[i] = dh[i] * (1 - ht[i]*ht[i])
+		}
+		for i := 0; i < h; i++ {
+			for j, xv := range x {
+				gwx[i][j] += dpre[i] * xv
+			}
+			for j, hv := range hprev {
+				gwh[i][j] += dpre[i] * hv
+			}
+			gbh[i] += dpre[i]
+		}
+		next := make([]float64, h)
+		for j := 0; j < h; j++ {
+			var s float64
+			for i := 0; i < h; i++ {
+				s += e.wh[i][j] * dpre[i]
+			}
+			next[j] = s
+		}
+		dh = next
+	}
+	// Clip the global gradient norm.
+	var norm float64
+	accum := func(v float64) { norm += v * v }
+	for i := 0; i < h; i++ {
+		for _, v := range gwx[i] {
+			accum(v)
+		}
+		for _, v := range gwh[i] {
+			accum(v)
+		}
+		accum(gbh[i])
+		accum(gwo[i])
+	}
+	accum(gbo)
+	norm = math.Sqrt(norm)
+	scale := 1.0
+	if norm > 5 {
+		scale = 5 / norm
+	}
+	lr := e.cfg.LearningRate * scale
+	for i := 0; i < h; i++ {
+		for j := range gwx[i] {
+			e.wx[i][j] -= lr * gwx[i][j]
+		}
+		for j := range gwh[i] {
+			e.wh[i][j] -= lr * gwh[i][j]
+		}
+		e.bh[i] -= lr * gbh[i]
+		e.wo[i] -= lr * gwo[i]
+	}
+	e.bo -= lr * gbo
+}
+
+// Score implements Classifier.
+func (e *Elman) Score(words []string) float64 {
+	if !e.trained {
+		return 0
+	}
+	_, y := e.forward(e.truncate(words))
+	return y - e.threshold
+}
+
+// Predict implements Classifier.
+func (e *Elman) Predict(words []string) bool { return e.Score(words) > 0 }

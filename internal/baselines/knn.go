@@ -1,0 +1,110 @@
+package baselines
+
+import (
+	"sort"
+
+	"temporaldoc/internal/corpus"
+)
+
+// KNNConfig parameterises the k-nearest-neighbour baseline.
+type KNNConfig struct {
+	// K is the neighbourhood size. Zero means 15 (a typical Reuters
+	// setting).
+	K int
+}
+
+// KNN is the k-nearest-neighbour text classifier (Yang's classic strong
+// Reuters baseline): the score of a test document is the
+// cosine-similarity-weighted vote of its k nearest training documents,
+// thresholded by training F1.
+type KNN struct {
+	cfg       KNNConfig
+	vec       *Vectorizer
+	vectors   [][]float64
+	positive  []bool
+	threshold float64
+	trained   bool
+}
+
+// NewKNN builds a kNN classifier over the feature set.
+func NewKNN(features []string, cfg KNNConfig) *KNN {
+	if cfg.K <= 0 {
+		cfg.K = 15
+	}
+	return &KNN{cfg: cfg, vec: NewVectorizer(features)}
+}
+
+// Name implements Classifier.
+func (k *KNN) Name() string { return "knn" }
+
+// Train implements Classifier. kNN is lazy: training stores the tf-idf
+// vectors and tunes the vote threshold by leave-one-in training F1.
+func (k *KNN) Train(train []corpus.Document, category string) error {
+	if _, _, err := splitByLabel(train, category); err != nil {
+		return err
+	}
+	k.vec.FitIDF(train)
+	k.vectors = make([][]float64, len(train))
+	k.positive = make([]bool, len(train))
+	for i := range train {
+		k.vectors[i] = k.vec.TFIDF(train[i].Words)
+		k.positive[i] = train[i].HasCategory(category)
+	}
+	// Tune the vote threshold on training documents, excluding each
+	// document from its own neighbourhood.
+	scores := make([]float64, len(train))
+	for i := range train {
+		scores[i] = k.vote(k.vectors[i], i)
+	}
+	k.threshold = bestF1Threshold(scores, k.positive)
+	k.trained = true
+	return nil
+}
+
+// vote returns the similarity-weighted positive vote of the k nearest
+// stored vectors to x, skipping index exclude (-1 for none).
+func (k *KNN) vote(x []float64, exclude int) float64 {
+	type neighbour struct {
+		sim float64
+		pos bool
+	}
+	// Keep the top-k by similarity with a small insertion buffer.
+	top := make([]neighbour, 0, k.cfg.K)
+	for i, v := range k.vectors {
+		if i == exclude {
+			continue
+		}
+		sim := dot(x, v) // vectors are L2-normalised: dot = cosine
+		if len(top) < k.cfg.K {
+			top = append(top, neighbour{sim, k.positive[i]})
+			sort.Slice(top, func(a, b int) bool { return top[a].sim > top[b].sim })
+			continue
+		}
+		if sim > top[len(top)-1].sim {
+			top[len(top)-1] = neighbour{sim, k.positive[i]}
+			for j := len(top) - 1; j > 0 && top[j].sim > top[j-1].sim; j-- {
+				top[j], top[j-1] = top[j-1], top[j]
+			}
+		}
+	}
+	var score float64
+	for _, n := range top {
+		if n.pos {
+			score += n.sim
+		} else {
+			score -= n.sim
+		}
+	}
+	return score
+}
+
+// Score implements Classifier.
+func (k *KNN) Score(words []string) float64 {
+	if !k.trained {
+		return 0
+	}
+	return k.vote(k.vec.TFIDF(words), -1) - k.threshold
+}
+
+// Predict implements Classifier.
+func (k *KNN) Predict(words []string) bool { return k.Score(words) > 0 }

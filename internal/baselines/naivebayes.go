@@ -1,0 +1,77 @@
+package baselines
+
+import (
+	"math"
+
+	"temporaldoc/internal/corpus"
+)
+
+// NaiveBayes is a multinomial Naive Bayes binary classifier with Laplace
+// smoothing over the feature vocabulary — the NB baseline of Tables 5
+// and 6.
+type NaiveBayes struct {
+	vec        *Vectorizer
+	logPriorIn float64 // log P(in) - log P(out)
+	logLikeIn  []float64
+	logLikeOut []float64
+	trained    bool
+}
+
+// NewNaiveBayes builds a Naive Bayes classifier over the feature set.
+func NewNaiveBayes(features []string) *NaiveBayes {
+	return &NaiveBayes{vec: NewVectorizer(features)}
+}
+
+// Name implements Classifier.
+func (nb *NaiveBayes) Name() string { return "naive-bayes" }
+
+// Train implements Classifier.
+func (nb *NaiveBayes) Train(train []corpus.Document, category string) error {
+	pos, neg, err := splitByLabel(train, category)
+	if err != nil {
+		return err
+	}
+	dim := nb.vec.Dim()
+	countsIn := make([]float64, dim)
+	countsOut := make([]float64, dim)
+	var totalIn, totalOut float64
+	accumulate := func(docs []corpus.Document, counts []float64) float64 {
+		var total float64
+		for i := range docs {
+			for j, c := range nb.vec.Counts(docs[i].Words) {
+				counts[j] += c
+				total += c
+			}
+		}
+		return total
+	}
+	totalIn = accumulate(pos, countsIn)
+	totalOut = accumulate(neg, countsOut)
+
+	nb.logPriorIn = math.Log(float64(len(pos))) - math.Log(float64(len(neg)))
+	nb.logLikeIn = make([]float64, dim)
+	nb.logLikeOut = make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		nb.logLikeIn[j] = math.Log((countsIn[j] + 1) / (totalIn + float64(dim)))
+		nb.logLikeOut[j] = math.Log((countsOut[j] + 1) / (totalOut + float64(dim)))
+	}
+	nb.trained = true
+	return nil
+}
+
+// Score implements Classifier: the log posterior odds of membership.
+func (nb *NaiveBayes) Score(words []string) float64 {
+	if !nb.trained {
+		return 0
+	}
+	score := nb.logPriorIn
+	for j, c := range nb.vec.Counts(words) {
+		if c > 0 {
+			score += c * (nb.logLikeIn[j] - nb.logLikeOut[j])
+		}
+	}
+	return score
+}
+
+// Predict implements Classifier.
+func (nb *NaiveBayes) Predict(words []string) bool { return nb.Score(words) > 0 }

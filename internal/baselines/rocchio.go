@@ -1,0 +1,83 @@
+package baselines
+
+import (
+	"temporaldoc/internal/corpus"
+)
+
+// Rocchio is the classic Rocchio relevance-feedback classifier used as a
+// baseline in Table 6 (Wu et al. 2002): a class prototype built as
+// β·centroid(positive) − γ·centroid(negative) over tf-idf vectors, with
+// the decision threshold tuned on the training set by F1.
+type Rocchio struct {
+	vec       *Vectorizer
+	beta      float64
+	gamma     float64
+	prototype []float64
+	threshold float64
+	trained   bool
+}
+
+// NewRocchio builds a Rocchio classifier with the conventional β=16,
+// γ=4 weights (pass other values to override; zero values take the
+// defaults).
+func NewRocchio(features []string, beta, gamma float64) *Rocchio {
+	if beta == 0 {
+		beta = 16
+	}
+	if gamma == 0 {
+		gamma = 4
+	}
+	return &Rocchio{vec: NewVectorizer(features), beta: beta, gamma: gamma}
+}
+
+// Name implements Classifier.
+func (r *Rocchio) Name() string { return "rocchio" }
+
+// Train implements Classifier.
+func (r *Rocchio) Train(train []corpus.Document, category string) error {
+	pos, neg, err := splitByLabel(train, category)
+	if err != nil {
+		return err
+	}
+	r.vec.FitIDF(train)
+	dim := r.vec.Dim()
+	centroid := func(docs []corpus.Document) []float64 {
+		c := make([]float64, dim)
+		for i := range docs {
+			for j, x := range r.vec.TFIDF(docs[i].Words) {
+				c[j] += x
+			}
+		}
+		for j := range c {
+			c[j] /= float64(len(docs))
+		}
+		return c
+	}
+	posC, negC := centroid(pos), centroid(neg)
+	r.prototype = make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		r.prototype[j] = r.beta*posC[j] - r.gamma*negC[j]
+	}
+	// Tune the decision threshold on the training scores.
+	scores := make([]float64, len(train))
+	labels := make([]bool, len(train))
+	for i := range train {
+		scores[i] = dot(r.vec.TFIDF(train[i].Words), r.prototype)
+		labels[i] = train[i].HasCategory(category)
+	}
+	r.threshold = bestF1Threshold(scores, labels)
+	r.trained = true
+	return nil
+}
+
+// Score implements Classifier: the prototype dot product minus the tuned
+// threshold.
+func (r *Rocchio) Score(words []string) float64 {
+	if !r.trained {
+		return 0
+	}
+	return dot(r.vec.TFIDF(words), r.prototype) - r.threshold
+}
+
+// Predict implements Classifier.
+func (r *Rocchio) Predict(words []string) bool { return r.Score(words) > 0 }

@@ -1,0 +1,232 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"temporaldoc/internal/corpus"
+)
+
+// SeqKernelConfig parameterises the word-sequence-kernel classifier.
+type SeqKernelConfig struct {
+	// Length is the subsequence length n. Zero means 2.
+	Length int
+	// Decay is the gap penalty λ in (0, 1]. Zero means 0.5.
+	Decay float64
+	// Epochs is the number of kernel-perceptron passes. Zero means 10.
+	Epochs int
+	// MaxWords truncates documents before kernel evaluation (the kernel
+	// is O(|s|·|t|·n)). Zero means 40.
+	MaxWords int
+	// Seed drives the perceptron's example order.
+	Seed int64
+}
+
+// SeqKernel is a word-sequence-kernel classifier (Cancedda, Gaussier,
+// Goutte & Renders 2003 — the paper's related-work §2): document
+// similarity is the gap-weighted count of shared (possibly
+// non-contiguous) word subsequences of a fixed length, and a kernel
+// perceptron separates in-class from out-class in that feature space.
+// The paper contrasts its own dynamic-length word tracking against this
+// fixed-subsequence-length approach.
+type SeqKernel struct {
+	cfg       SeqKernelConfig
+	docs      [][]string
+	labels    []float64
+	alphas    []float64
+	selfK     []float64
+	threshold float64
+	trained   bool
+}
+
+// NewSeqKernel builds a word-sequence-kernel classifier. The feature
+// vocabulary is implicit (all word subsequences), so no feature list is
+// taken.
+func NewSeqKernel(cfg SeqKernelConfig) *SeqKernel {
+	if cfg.Length <= 0 {
+		cfg.Length = 2
+	}
+	if cfg.Decay <= 0 || cfg.Decay > 1 {
+		cfg.Decay = 0.5
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 10
+	}
+	if cfg.MaxWords <= 0 {
+		cfg.MaxWords = 40
+	}
+	return &SeqKernel{cfg: cfg}
+}
+
+// Name implements Classifier.
+func (sk *SeqKernel) Name() string { return "seq-kernel" }
+
+// ssk computes the raw order-n subsequence kernel between word
+// sequences s and t with decay λ (Lodhi et al. dynamic programme,
+// applied to words as the alphabet).
+func ssk(s, t []string, n int, lambda float64) float64 {
+	if len(s) < n || len(t) < n {
+		return 0
+	}
+	l2 := lambda * lambda
+	// kp[i][j] = K'_l(s[:i], t[:j]) for the current level l.
+	kp := make([][]float64, len(s)+1)
+	for i := range kp {
+		kp[i] = make([]float64, len(t)+1)
+		for j := range kp[i] {
+			kp[i][j] = 1 // K'_0 = 1
+		}
+	}
+	kpp := make([][]float64, len(s)+1)
+	for i := range kpp {
+		kpp[i] = make([]float64, len(t)+1)
+	}
+	for l := 1; l < n; l++ {
+		for i := range kpp {
+			for j := range kpp[i] {
+				kpp[i][j] = 0
+			}
+		}
+		next := make([][]float64, len(s)+1)
+		for i := range next {
+			next[i] = make([]float64, len(t)+1)
+		}
+		for i := l; i <= len(s); i++ {
+			for j := l; j <= len(t); j++ {
+				match := 0.0
+				if s[i-1] == t[j-1] {
+					match = l2 * kp[i-1][j-1]
+				}
+				kpp[i][j] = lambda*kpp[i][j-1] + match
+				next[i][j] = lambda*next[i-1][j] + kpp[i][j]
+			}
+		}
+		kp = next
+	}
+	var k float64
+	for i := n; i <= len(s); i++ {
+		for j := n; j <= len(t); j++ {
+			if s[i-1] == t[j-1] {
+				k += l2 * kp[i-1][j-1]
+			}
+		}
+	}
+	return k
+}
+
+// kernel computes the normalised kernel K(s,t)/√(K(s,s)K(t,t)), with
+// self-kernels supplied by the caller when already known (pass <= 0 to
+// compute).
+func (sk *SeqKernel) kernel(s, t []string, selfS, selfT float64) float64 {
+	if selfS <= 0 {
+		selfS = ssk(s, s, sk.cfg.Length, sk.cfg.Decay)
+	}
+	if selfT <= 0 {
+		selfT = ssk(t, t, sk.cfg.Length, sk.cfg.Decay)
+	}
+	if selfS == 0 || selfT == 0 {
+		return 0
+	}
+	return ssk(s, t, sk.cfg.Length, sk.cfg.Decay) / math.Sqrt(selfS*selfT)
+}
+
+func (sk *SeqKernel) truncate(words []string) []string {
+	if len(words) > sk.cfg.MaxWords {
+		return words[:sk.cfg.MaxWords]
+	}
+	return words
+}
+
+// Train implements Classifier: a kernel perceptron over the precomputed
+// normalised Gram matrix, followed by an F1-tuned threshold.
+func (sk *SeqKernel) Train(train []corpus.Document, category string) error {
+	if _, _, err := splitByLabel(train, category); err != nil {
+		return err
+	}
+	n := len(train)
+	sk.docs = make([][]string, n)
+	sk.labels = make([]float64, n)
+	sk.selfK = make([]float64, n)
+	for i := range train {
+		sk.docs[i] = sk.truncate(train[i].Words)
+		if train[i].HasCategory(category) {
+			sk.labels[i] = 1
+		} else {
+			sk.labels[i] = -1
+		}
+		sk.selfK[i] = ssk(sk.docs[i], sk.docs[i], sk.cfg.Length, sk.cfg.Decay)
+	}
+	// Precompute the Gram matrix once; the perceptron then only does
+	// O(n²) work per epoch.
+	gram := make([][]float64, n)
+	for i := range gram {
+		gram[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		gram[i][i] = 1
+		if sk.selfK[i] == 0 {
+			gram[i][i] = 0
+		}
+		for j := i + 1; j < n; j++ {
+			k := sk.kernel(sk.docs[i], sk.docs[j], sk.selfK[i], sk.selfK[j])
+			gram[i][j], gram[j][i] = k, k
+		}
+	}
+	sk.alphas = make([]float64, n)
+	rng := rand.New(rand.NewSource(sk.cfg.Seed + 1))
+	order := rng.Perm(n)
+	for epoch := 0; epoch < sk.cfg.Epochs; epoch++ {
+		mistakes := 0
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			var score float64
+			for j := 0; j < n; j++ {
+				if sk.alphas[j] != 0 {
+					score += sk.alphas[j] * sk.labels[j] * gram[j][i]
+				}
+			}
+			if score*sk.labels[i] <= 0 {
+				sk.alphas[i]++
+				mistakes++
+			}
+		}
+		if mistakes == 0 {
+			break
+		}
+	}
+	// Tune the decision threshold on the training scores.
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := 0; i < n; i++ {
+		var score float64
+		for j := 0; j < n; j++ {
+			if sk.alphas[j] != 0 {
+				score += sk.alphas[j] * sk.labels[j] * gram[j][i]
+			}
+		}
+		scores[i] = score
+		labels[i] = sk.labels[i] > 0
+	}
+	sk.threshold = bestF1Threshold(scores, labels)
+	sk.trained = true
+	return nil
+}
+
+// Score implements Classifier.
+func (sk *SeqKernel) Score(words []string) float64 {
+	if !sk.trained {
+		return 0
+	}
+	x := sk.truncate(words)
+	selfX := ssk(x, x, sk.cfg.Length, sk.cfg.Decay)
+	var score float64
+	for j := range sk.docs {
+		if sk.alphas[j] != 0 {
+			score += sk.alphas[j] * sk.labels[j] * sk.kernel(sk.docs[j], x, sk.selfK[j], selfX)
+		}
+	}
+	return score - sk.threshold
+}
+
+// Predict implements Classifier.
+func (sk *SeqKernel) Predict(words []string) bool { return sk.Score(words) > 0 }

@@ -1,0 +1,137 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"temporaldoc/internal/corpus"
+	"testing"
+)
+
+// The classic Lodhi et al. worked example at n=2: treating characters as
+// words, K2("cat","car") normalised = 1/(2+λ²).
+func TestSSKLodhiExample(t *testing.T) {
+	cat := []string{"c", "a", "t"}
+	car := []string{"c", "a", "r"}
+	for _, lambda := range []float64{0.3, 0.5, 0.9, 1.0} {
+		raw := ssk(cat, car, 2, lambda)
+		l4 := math.Pow(lambda, 4)
+		if math.Abs(raw-l4) > 1e-12 {
+			t.Errorf("λ=%v: K2(cat,car) = %v, want λ⁴ = %v", lambda, raw, l4)
+		}
+		self := ssk(cat, cat, 2, lambda)
+		want := 2*l4 + math.Pow(lambda, 6)
+		if math.Abs(self-want) > 1e-12 {
+			t.Errorf("λ=%v: K2(cat,cat) = %v, want %v", lambda, self, want)
+		}
+		sk := NewSeqKernel(SeqKernelConfig{Length: 2, Decay: lambda})
+		norm := sk.kernel(cat, car, 0, 0)
+		if math.Abs(norm-1/(2+lambda*lambda)) > 1e-12 {
+			t.Errorf("λ=%v: normalised = %v, want %v", lambda, norm, 1/(2+lambda*lambda))
+		}
+	}
+}
+
+func TestSSKEdgeCases(t *testing.T) {
+	if got := ssk([]string{"a"}, []string{"a", "b"}, 2, 0.5); got != 0 {
+		t.Errorf("too-short sequence kernel = %v", got)
+	}
+	if got := ssk(nil, nil, 1, 0.5); got != 0 {
+		t.Errorf("empty kernel = %v", got)
+	}
+	// Order 1 with λ=1 counts shared word pairs.
+	a := []string{"x", "y"}
+	b := []string{"y", "x", "y"}
+	// matches: x with 1 x, y with 2 y -> 1 + 2 = 3.
+	if got := ssk(a, b, 1, 1); math.Abs(got-3) > 1e-12 {
+		t.Errorf("order-1 kernel = %v, want 3", got)
+	}
+}
+
+func TestSSKSymmetricAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vocab := []string{"a", "b", "c", "d"}
+	mk := func() []string {
+		out := make([]string, 3+rng.Intn(6))
+		for i := range out {
+			out[i] = vocab[rng.Intn(len(vocab))]
+		}
+		return out
+	}
+	sk := NewSeqKernel(SeqKernelConfig{Length: 2, Decay: 0.6})
+	for trial := 0; trial < 50; trial++ {
+		s, u := mk(), mk()
+		if math.Abs(ssk(s, u, 2, 0.6)-ssk(u, s, 2, 0.6)) > 1e-12 {
+			t.Fatalf("kernel not symmetric for %v, %v", s, u)
+		}
+		norm := sk.kernel(s, u, 0, 0)
+		if norm < -1e-12 || norm > 1+1e-9 {
+			t.Fatalf("normalised kernel %v out of [0,1] for %v, %v", norm, s, u)
+		}
+		if self := sk.kernel(s, s, 0, 0); math.Abs(self-1) > 1e-9 {
+			t.Fatalf("self kernel %v != 1 for %v", self, s)
+		}
+	}
+}
+
+func TestSSKOrderSensitivity(t *testing.T) {
+	// The kernel must see word order: a sequence sharing an ordered
+	// bigram scores higher than the same bag in reverse order.
+	s := []string{"net", "profit", "rose"}
+	same := []string{"net", "profit", "fell"}
+	reversed := []string{"profit", "net", "fell"}
+	kSame := ssk(s, same, 2, 0.5)
+	kRev := ssk(s, reversed, 2, 0.5)
+	if kSame <= kRev {
+		t.Errorf("order insensitivity: same-order %v <= reversed %v", kSame, kRev)
+	}
+}
+
+func TestSeqKernelClassifierLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train := syntheticTrain(rng, 12)
+	test := syntheticTrain(rng, 6)
+	sk := NewSeqKernel(SeqKernelConfig{Seed: 1, Epochs: 8})
+	if err := sk.Train(train, "earn"); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, d := range test {
+		if sk.Predict(d.Words) == d.HasCategory("earn") {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(test)); acc < 0.85 {
+		t.Errorf("seq-kernel accuracy = %v", acc)
+	}
+}
+
+func TestSeqKernelValidation(t *testing.T) {
+	sk := NewSeqKernel(SeqKernelConfig{})
+	if sk.cfg.Length != 2 || sk.cfg.Decay != 0.5 || sk.cfg.MaxWords != 40 {
+		t.Errorf("defaults: %+v", sk.cfg)
+	}
+	docs := []corpus.Document{
+		{ID: "1", Words: []string{"profit"}, Categories: []string{"earn"}},
+	}
+	if err := sk.Train(docs, "earn"); err == nil {
+		t.Error("single-class training accepted")
+	}
+	if got := sk.Score([]string{"profit"}); got != 0 {
+		t.Errorf("untrained Score = %v", got)
+	}
+	if sk.Name() != "seq-kernel" {
+		t.Errorf("Name = %q", sk.Name())
+	}
+}
+
+func TestSeqKernelTruncation(t *testing.T) {
+	sk := NewSeqKernel(SeqKernelConfig{MaxWords: 3})
+	long := []string{"a", "b", "c", "d", "e"}
+	if got := sk.truncate(long); len(got) != 3 {
+		t.Errorf("truncate = %v", got)
+	}
+	short := []string{"a"}
+	if got := sk.truncate(short); len(got) != 1 {
+		t.Errorf("truncate(short) = %v", got)
+	}
+}

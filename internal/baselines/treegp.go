@@ -1,0 +1,318 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"temporaldoc/internal/corpus"
+	"temporaldoc/internal/ngram"
+)
+
+// TreeGPConfig parameterises the tree-based GP baseline (Hirsch et al.
+// 2005: evolved arithmetic rules over n-gram statistics).
+type TreeGPConfig struct {
+	// NumFeatures is the number of top category n-grams used as
+	// terminals. Zero means 40.
+	NumFeatures int
+	// MaxN is the largest n-gram order. Zero means 3.
+	MaxN int
+	// PopulationSize. Zero means 80.
+	PopulationSize int
+	// Generations of the generational loop. Zero means 30.
+	Generations int
+	// TournamentSize for parent selection. Zero means 3.
+	TournamentSize int
+	// MaxDepth bounds tree depth. Zero means 7.
+	MaxDepth int
+	// PCrossover and PMutate select the variation operator per offspring
+	// (crossover first, else mutation, else reproduction). Zeroes mean
+	// 0.9 and 0.1.
+	PCrossover, PMutate float64
+	// Seed drives evolution randomness.
+	Seed int64
+}
+
+func (c *TreeGPConfig) setDefaults() {
+	if c.NumFeatures <= 0 {
+		c.NumFeatures = 40
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 3
+	}
+	if c.PopulationSize <= 0 {
+		c.PopulationSize = 80
+	}
+	if c.Generations <= 0 {
+		c.Generations = 30
+	}
+	if c.TournamentSize <= 0 {
+		c.TournamentSize = 3
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 7
+	}
+	if c.PCrossover <= 0 {
+		c.PCrossover = 0.9
+	}
+	if c.PMutate <= 0 {
+		c.PMutate = 0.1
+	}
+}
+
+// TreeGP is the T-GP baseline of Table 5: a tree-structured GP whose
+// terminals are n-gram counts of the document and whose functions are
+// {+, -, ×, protected ÷}; the evolved expression's value thresholds into
+// an in/out decision.
+type TreeGP struct {
+	cfg       TreeGPConfig
+	features  []string
+	best      *gpNode
+	threshold float64
+	trained   bool
+}
+
+// NewTreeGP builds a T-GP classifier; features are chosen from the
+// target category's training documents at Train time.
+func NewTreeGP(cfg TreeGPConfig) *TreeGP {
+	cfg.setDefaults()
+	return &TreeGP{cfg: cfg}
+}
+
+// Name implements Classifier.
+func (t *TreeGP) Name() string { return "tree-gp" }
+
+// gpNode is an expression-tree node: op < 0 marks a terminal (feature
+// index feat >= 0, or constant feat < 0 with value in konst).
+type gpNode struct {
+	op          int // 0..3 = + - * /; -1 terminal
+	left, right *gpNode
+	feat        int
+	konst       float64
+}
+
+func (n *gpNode) eval(x []float64) float64 {
+	if n.op < 0 {
+		if n.feat >= 0 {
+			return x[n.feat]
+		}
+		return n.konst
+	}
+	l, r := n.left.eval(x), n.right.eval(x)
+	switch n.op {
+	case 0:
+		return l + r
+	case 1:
+		return l - r
+	case 2:
+		return clampf(l * r)
+	default:
+		if math.Abs(r) < 1e-9 {
+			return l
+		}
+		return clampf(l / r)
+	}
+}
+
+func clampf(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	if v > 1e9 {
+		return 1e9
+	}
+	if v < -1e9 {
+		return -1e9
+	}
+	return v
+}
+
+func (n *gpNode) clone() *gpNode {
+	if n == nil {
+		return nil
+	}
+	return &gpNode{op: n.op, left: n.left.clone(), right: n.right.clone(), feat: n.feat, konst: n.konst}
+}
+
+func (n *gpNode) depth() int {
+	if n.op < 0 {
+		return 1
+	}
+	l, r := n.left.depth(), n.right.depth()
+	if r > l {
+		l = r
+	}
+	return 1 + l
+}
+
+func (n *gpNode) size() int {
+	if n.op < 0 {
+		return 1
+	}
+	return 1 + n.left.size() + n.right.size()
+}
+
+// nth returns a pointer to the i-th node slot in preorder, enabling
+// subtree replacement.
+func nth(slot **gpNode, i *int) **gpNode {
+	if *i == 0 {
+		return slot
+	}
+	*i--
+	n := *slot
+	if n.op < 0 {
+		return nil
+	}
+	if found := nth(&n.left, i); found != nil {
+		return found
+	}
+	return nth(&n.right, i)
+}
+
+func (t *TreeGP) randomTree(rng *rand.Rand, depth int, full bool) *gpNode {
+	if depth <= 1 || (!full && rng.Float64() < 0.3) {
+		if rng.Float64() < 0.8 {
+			return &gpNode{op: -1, feat: rng.Intn(len(t.features))}
+		}
+		return &gpNode{op: -1, feat: -1, konst: rng.Float64()*2 - 1}
+	}
+	return &gpNode{
+		op:    rng.Intn(4),
+		left:  t.randomTree(rng, depth-1, full),
+		right: t.randomTree(rng, depth-1, full),
+	}
+}
+
+// Train implements Classifier.
+func (t *TreeGP) Train(train []corpus.Document, category string) error {
+	if _, _, err := splitByLabel(train, category); err != nil {
+		return err
+	}
+	t.features = ngram.TopByCategoryDF(train, category, t.cfg.MaxN, t.cfg.NumFeatures)
+	if len(t.features) == 0 {
+		return fmt.Errorf("baselines: no n-gram features for category %q", category)
+	}
+	n := len(train)
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range train {
+		xs[i] = ngram.CountVector(train[i].Words, t.features)
+		if train[i].HasCategory(category) {
+			ys[i] = 1
+		} else {
+			ys[i] = -1
+		}
+	}
+	rng := rand.New(rand.NewSource(t.cfg.Seed + 1))
+
+	fitness := func(nd *gpNode) float64 {
+		var sse float64
+		for i := range xs {
+			out := 2/(1+math.Exp(-nd.eval(xs[i]))) - 1
+			d := ys[i] - out
+			sse += d * d
+		}
+		return sse
+	}
+
+	// Ramped half-and-half initialisation.
+	pop := make([]*gpNode, t.cfg.PopulationSize)
+	fits := make([]float64, t.cfg.PopulationSize)
+	for i := range pop {
+		depth := 2 + i%(t.cfg.MaxDepth-2)
+		pop[i] = t.randomTree(rng, depth, i%2 == 0)
+		fits[i] = fitness(pop[i])
+	}
+	pick := func() int {
+		best := rng.Intn(len(pop))
+		for k := 1; k < t.cfg.TournamentSize; k++ {
+			if c := rng.Intn(len(pop)); fits[c] < fits[best] {
+				best = c
+			}
+		}
+		return best
+	}
+	for gen := 0; gen < t.cfg.Generations; gen++ {
+		next := make([]*gpNode, 0, len(pop))
+		nextFits := make([]float64, 0, len(pop))
+		// Elitism: carry the two best forward.
+		b1, b2 := 0, 1
+		if fits[b2] < fits[b1] {
+			b1, b2 = b2, b1
+		}
+		for i := 2; i < len(pop); i++ {
+			if fits[i] < fits[b1] {
+				b2, b1 = b1, i
+			} else if fits[i] < fits[b2] {
+				b2 = i
+			}
+		}
+		next = append(next, pop[b1].clone(), pop[b2].clone())
+		nextFits = append(nextFits, fits[b1], fits[b2])
+		for len(next) < len(pop) {
+			child := pop[pick()].clone()
+			switch r := rng.Float64(); {
+			case r < t.cfg.PCrossover:
+				donor := pop[pick()]
+				i := rng.Intn(child.size())
+				slot := nth(&child, &i)
+				j := rng.Intn(donor.size())
+				sub := donor
+				jj := j
+				if s := nth(&sub, &jj); s != nil {
+					*slot = (*s).clone()
+				}
+				if child.depth() > t.cfg.MaxDepth {
+					child = pop[pick()].clone() // reject oversize offspring
+				}
+			case r < t.cfg.PCrossover+t.cfg.PMutate:
+				i := rng.Intn(child.size())
+				slot := nth(&child, &i)
+				*slot = t.randomTree(rng, 3, false)
+				if child.depth() > t.cfg.MaxDepth {
+					child = pop[pick()].clone()
+				}
+			}
+			next = append(next, child)
+			nextFits = append(nextFits, fitness(child))
+		}
+		pop, fits = next, nextFits
+	}
+	bestIdx := 0
+	for i := range fits {
+		if fits[i] < fits[bestIdx] {
+			bestIdx = i
+		}
+	}
+	t.best = pop[bestIdx]
+	// Tune the decision threshold on training scores.
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range xs {
+		scores[i] = t.best.eval(xs[i])
+		labels[i] = ys[i] > 0
+	}
+	t.threshold = bestF1Threshold(scores, labels)
+	t.trained = true
+	return nil
+}
+
+// Score implements Classifier.
+func (t *TreeGP) Score(words []string) float64 {
+	if !t.trained {
+		return 0
+	}
+	x := ngram.CountVector(words, t.features)
+	return t.best.eval(x) - t.threshold
+}
+
+// Predict implements Classifier.
+func (t *TreeGP) Predict(words []string) bool { return t.Score(words) > 0 }
+
+// BestSize returns the node count of the evolved rule (diagnostic).
+func (t *TreeGP) BestSize() int {
+	if t.best == nil {
+		return 0
+	}
+	return t.best.size()
+}

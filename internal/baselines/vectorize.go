@@ -1,0 +1,149 @@
+// Package baselines implements the comparison classifiers of the paper's
+// Tables 5 and 6 — Naive Bayes, Decision Tree, linear SVM, Rocchio and a
+// tree-based GP over n-grams — all as binary per-category classifiers on
+// bag-of-words (or n-gram) representations, mirroring the systems the
+// paper compares against.
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"temporaldoc/internal/corpus"
+	"temporaldoc/internal/metrics"
+)
+
+// Classifier is a binary per-category text classifier: trained on
+// labelled documents for one target category, it predicts membership
+// from an ordered word sequence (which bag-of-words models internally
+// collapse).
+type Classifier interface {
+	// Name identifies the classifier family (e.g. "naive-bayes").
+	Name() string
+	// Train fits the classifier for the target category.
+	Train(train []corpus.Document, category string) error
+	// Predict reports whether the document belongs to the category.
+	Predict(words []string) bool
+	// Score returns the real-valued decision score behind Predict
+	// (higher means more in-class).
+	Score(words []string) float64
+}
+
+// Vectorizer maps word sequences to fixed-dimension vectors over a
+// feature vocabulary.
+type Vectorizer struct {
+	vocab []string
+	index map[string]int
+	idf   []float64
+}
+
+// NewVectorizer builds a vectorizer over the given feature set.
+func NewVectorizer(features []string) *Vectorizer {
+	v := &Vectorizer{
+		vocab: append([]string(nil), features...),
+		index: make(map[string]int, len(features)),
+	}
+	for i, f := range v.vocab {
+		v.index[f] = i
+	}
+	return v
+}
+
+// Dim returns the vector dimension.
+func (v *Vectorizer) Dim() int { return len(v.vocab) }
+
+// FitIDF estimates inverse document frequencies from the training
+// documents: idf = ln((N+1)/(df+1)) + 1.
+func (v *Vectorizer) FitIDF(docs []corpus.Document) {
+	df := make([]int, len(v.vocab))
+	for i := range docs {
+		seen := make(map[int]bool)
+		for _, w := range docs[i].Words {
+			if j, ok := v.index[w]; ok && !seen[j] {
+				seen[j] = true
+				df[j]++
+			}
+		}
+	}
+	n := float64(len(docs))
+	v.idf = make([]float64, len(v.vocab))
+	for j, d := range df {
+		v.idf[j] = math.Log((n+1)/(float64(d)+1)) + 1
+	}
+}
+
+// Counts returns the raw term-frequency vector of the word sequence.
+func (v *Vectorizer) Counts(words []string) []float64 {
+	vec := make([]float64, len(v.vocab))
+	for _, w := range words {
+		if j, ok := v.index[w]; ok {
+			vec[j]++
+		}
+	}
+	return vec
+}
+
+// TFIDF returns the L2-normalised tf-idf vector. FitIDF must have been
+// called; without it, raw counts are L2-normalised.
+func (v *Vectorizer) TFIDF(words []string) []float64 {
+	vec := v.Counts(words)
+	if v.idf != nil {
+		for j := range vec {
+			vec[j] *= v.idf[j]
+		}
+	}
+	var norm float64
+	for _, x := range vec {
+		norm += x * x
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for j := range vec {
+			vec[j] /= norm
+		}
+	}
+	return vec
+}
+
+// Presence returns the binary presence vector of the word sequence.
+func (v *Vectorizer) Presence(words []string) []float64 {
+	vec := make([]float64, len(v.vocab))
+	for _, w := range words {
+		if j, ok := v.index[w]; ok {
+			vec[j] = 1
+		}
+	}
+	return vec
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// bestF1Threshold converts a real-valued decision function into a
+// binary rule by sweeping the training scores for the F1-maximising
+// threshold (see metrics.BestF1Threshold).
+func bestF1Threshold(scores []float64, labels []bool) float64 {
+	return metrics.BestF1Threshold(scores, labels)
+}
+
+// splitByLabel partitions training documents by membership of the target
+// category. It errors when either side is empty — every baseline needs
+// both classes.
+func splitByLabel(train []corpus.Document, category string) (pos, neg []corpus.Document, err error) {
+	for i := range train {
+		if train[i].HasCategory(category) {
+			pos = append(pos, train[i])
+		} else {
+			neg = append(neg, train[i])
+		}
+	}
+	if len(pos) == 0 || len(neg) == 0 {
+		return nil, nil, fmt.Errorf("baselines: category %q has %d positive and %d negative training documents", category, len(pos), len(neg))
+	}
+	return pos, neg, nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"temporaldoc/internal/corpus"
+)
+
+// CVResult summarises one configuration variant's cross-validation
+// performance.
+type CVResult struct {
+	// Name identifies the variant.
+	Name string
+	// MeanMacroF1 and MeanMicroF1 average the per-fold scores.
+	MeanMacroF1 float64
+	MeanMicroF1 float64
+	// FoldMacroF1 holds the per-fold macro F1 scores.
+	FoldMacroF1 []float64
+}
+
+// CrossValidate performs k-fold cross-validation over the corpus
+// training split for a set of configuration variants (e.g. different
+// feature-selection methods or threshold rules) and returns the results
+// sorted by mean macro F1, best first. Folds are assigned round-robin
+// over the training documents, so every variant sees identical folds
+// and results are paired. The test split is never touched — this is the
+// model-selection step that keeps test data honest.
+func CrossValidate(base Config, c *corpus.Corpus, k int, variants map[string]func(Config) Config) ([]CVResult, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("core: cross-validation needs k >= 2, got %d", k)
+	}
+	if len(variants) == 0 {
+		return nil, fmt.Errorf("core: no variants to cross-validate")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if len(c.Train) < 2*k {
+		return nil, fmt.Errorf("core: %d training documents too few for %d folds", len(c.Train), k)
+	}
+	names := make([]string, 0, len(variants))
+	for name := range variants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	results := make([]CVResult, 0, len(names))
+	for _, name := range names {
+		cfg := variants[name](base)
+		res := CVResult{Name: name}
+		for fold := 0; fold < k; fold++ {
+			foldCorpus := &corpus.Corpus{Categories: c.Categories}
+			for i := range c.Train {
+				if i%k == fold {
+					foldCorpus.Test = append(foldCorpus.Test, c.Train[i])
+				} else {
+					foldCorpus.Train = append(foldCorpus.Train, c.Train[i])
+				}
+			}
+			model, err := Train(cfg, foldCorpus)
+			if err != nil {
+				return nil, fmt.Errorf("core: variant %s fold %d: %w", name, fold, err)
+			}
+			set, err := model.Evaluate(foldCorpus.Test)
+			if err != nil {
+				return nil, fmt.Errorf("core: variant %s fold %d: %w", name, fold, err)
+			}
+			res.FoldMacroF1 = append(res.FoldMacroF1, set.MacroF1())
+			res.MeanMacroF1 += set.MacroF1()
+			res.MeanMicroF1 += set.MicroF1()
+		}
+		res.MeanMacroF1 /= float64(k)
+		res.MeanMicroF1 /= float64(k)
+		results = append(results, res)
+	}
+	sort.SliceStable(results, func(i, j int) bool {
+		return results[i].MeanMacroF1 > results[j].MeanMacroF1
+	})
+	return results, nil
+}

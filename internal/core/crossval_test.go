@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"temporaldoc/internal/corpus"
+	"temporaldoc/internal/featsel"
+)
+
+func cvVariants() map[string]func(Config) Config {
+	return map[string]func(Config) Config{
+		"df": func(cfg Config) Config {
+			cfg.FeatureMethod = featsel.DF
+			return cfg
+		},
+		"mi": func(cfg Config) Config {
+			cfg.FeatureMethod = featsel.MI
+			return cfg
+		},
+	}
+}
+
+func TestCrossValidateValidation(t *testing.T) {
+	c := smallCorpus(t)
+	base := fastConfig(featsel.DF)
+	if _, err := CrossValidate(base, c, 1, cvVariants()); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := CrossValidate(base, c, 2, nil); err == nil {
+		t.Error("no variants accepted")
+	}
+	if _, err := CrossValidate(base, &corpus.Corpus{}, 2, cvVariants()); err == nil {
+		t.Error("invalid corpus accepted")
+	}
+	tiny := &corpus.Corpus{
+		Train:      c.Train[:3],
+		Test:       c.Test[:1],
+		Categories: c.Categories,
+	}
+	if _, err := CrossValidate(base, tiny, 5, cvVariants()); err == nil {
+		t.Error("too few documents for folds accepted")
+	}
+}
+
+func TestCrossValidateRanksVariants(t *testing.T) {
+	c := smallCorpus(t)
+	base := fastConfig(featsel.DF)
+	base.GP.Tournaments = 60
+	results, err := CrossValidate(base, c, 2, cvVariants())
+	if err != nil {
+		t.Fatalf("CrossValidate: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	// Sorted descending by mean macro F1.
+	if results[0].MeanMacroF1 < results[1].MeanMacroF1 {
+		t.Errorf("results unsorted: %v", results)
+	}
+	for _, r := range results {
+		if len(r.FoldMacroF1) != 2 {
+			t.Errorf("variant %s has %d folds", r.Name, len(r.FoldMacroF1))
+		}
+		if r.MeanMacroF1 < 0 || r.MeanMacroF1 > 1 || r.MeanMicroF1 < 0 || r.MeanMicroF1 > 1 {
+			t.Errorf("variant %s out-of-range scores: %+v", r.Name, r)
+		}
+	}
+}
+
+func TestCrossValidateNeverTouchesTestSplit(t *testing.T) {
+	c := smallCorpus(t)
+	// Corrupt the test split: cross-validation must still succeed
+	// because it only uses Train.
+	mangled := &corpus.Corpus{
+		Train:      c.Train,
+		Test:       []corpus.Document{{ID: "only", Words: []string{"x"}, Categories: []string{"earn"}}},
+		Categories: c.Categories,
+	}
+	base := fastConfig(featsel.DF)
+	base.GP.Tournaments = 40
+	if _, err := CrossValidate(base, mangled, 2, map[string]func(Config) Config{
+		"df": func(cfg Config) Config { return cfg },
+	}); err != nil {
+		t.Fatalf("CrossValidate used the test split? %v", err)
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CategoryReport summarises one trained category's machinery.
+type CategoryReport struct {
+	Category        string
+	KeepWords       int
+	SelectedBMUs    int
+	RuleLength      int
+	EffectiveLength int
+	Threshold       float64
+	Fitness         float64
+	Restart         int
+}
+
+// Report summarises a trained model: feature selection, encoder
+// geometry, and per-category rule statistics. Intended for operational
+// inspection of persisted models.
+type Report struct {
+	FeatureMethod string
+	Categories    []CategoryReport
+	CharMapUnits  int
+	WordMapUnits  int
+	Recurrent     bool
+}
+
+// Report builds the inspection summary.
+func (m *Model) Report() *Report {
+	r := &Report{
+		FeatureMethod: string(m.cfg.FeatureMethod),
+		CharMapUnits:  m.encoder.CharMap().Units(),
+		Recurrent:     m.cfg.GP.Recurrent,
+	}
+	cats := append([]string(nil), m.cats...)
+	sort.Strings(cats)
+	for _, cat := range cats {
+		cm := m.perCat[cat]
+		ce := m.encoder.Category(cat)
+		cr := CategoryReport{
+			Category:        cat,
+			KeepWords:       len(m.keepSets[cat]),
+			RuleLength:      len(cm.Program.Code),
+			EffectiveLength: cm.Program.EffectiveLength(m.cfg.GP.NumRegisters),
+			Threshold:       cm.Threshold,
+			Fitness:         cm.Fitness,
+			Restart:         cm.Restart,
+		}
+		if ce != nil {
+			cr.SelectedBMUs = len(ce.SelectedBMUs())
+			if r.WordMapUnits == 0 {
+				r.WordMapUnits = ce.Map.Units()
+			}
+		}
+		r.Categories = append(r.Categories, cr)
+	}
+	return r
+}
+
+// Format renders the report as a table.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "model: feature method %s, char map %d units, word maps %d units, recurrent=%v\n",
+		r.FeatureMethod, r.CharMapUnits, r.WordMapUnits, r.Recurrent)
+	fmt.Fprintf(&b, "%-12s %8s %8s %8s %8s %10s %10s %8s\n",
+		"category", "keep", "BMUs", "ruleLen", "effLen", "threshold", "fitness", "restart")
+	for _, c := range r.Categories {
+		fmt.Fprintf(&b, "%-12s %8d %8d %8d %8d %10.3f %10.2f %8d\n",
+			c.Category, c.KeepWords, c.SelectedBMUs, c.RuleLength,
+			c.EffectiveLength, c.Threshold, c.Fitness, c.Restart)
+	}
+	return b.String()
+}

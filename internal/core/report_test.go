@@ -1,0 +1,65 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestModelReport(t *testing.T) {
+	m, c := trainedModel(t)
+	r := m.Report()
+	if r.FeatureMethod != "df" {
+		t.Errorf("FeatureMethod = %q", r.FeatureMethod)
+	}
+	if len(r.Categories) != len(c.Categories) {
+		t.Fatalf("report covers %d categories", len(r.Categories))
+	}
+	if !sort.SliceIsSorted(r.Categories, func(i, j int) bool {
+		return r.Categories[i].Category < r.Categories[j].Category
+	}) {
+		t.Error("report categories unsorted")
+	}
+	for _, cr := range r.Categories {
+		if cr.KeepWords <= 0 {
+			t.Errorf("%s: keep words %d", cr.Category, cr.KeepWords)
+		}
+		if cr.SelectedBMUs <= 0 {
+			t.Errorf("%s: selected BMUs %d", cr.Category, cr.SelectedBMUs)
+		}
+		if cr.RuleLength <= 0 || cr.EffectiveLength > cr.RuleLength {
+			t.Errorf("%s: rule %d / effective %d", cr.Category, cr.RuleLength, cr.EffectiveLength)
+		}
+	}
+	if r.CharMapUnits <= 0 || r.WordMapUnits <= 0 {
+		t.Errorf("map units: %d / %d", r.CharMapUnits, r.WordMapUnits)
+	}
+	out := r.Format()
+	for _, want := range []string{"earn", "ruleLen", "threshold", "recurrent=true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportSurvivesPersistence(t *testing.T) {
+	m, _ := trainedModel(t)
+	var buf strings.Builder
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := m.Report(), loaded.Report()
+	if len(a.Categories) != len(b.Categories) {
+		t.Fatal("category counts differ")
+	}
+	for i := range a.Categories {
+		if a.Categories[i] != b.Categories[i] {
+			t.Errorf("category %d report changed: %+v vs %+v",
+				i, a.Categories[i], b.Categories[i])
+		}
+	}
+}

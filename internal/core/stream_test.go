@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewStreamValidation(t *testing.T) {
+	m, _ := trainedModel(t)
+	if _, err := m.NewStream("bogus"); err == nil {
+		t.Error("unknown category accepted")
+	}
+	s, err := m.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.State()) != len(m.Categories()) {
+		t.Errorf("default stream tracks %d categories", len(s.State()))
+	}
+}
+
+// The incremental stream must reproduce the batch trace exactly: same
+// member words, same outputs.
+func TestStreamMatchesBatchTrace(t *testing.T) {
+	m, c := trainedModel(t)
+	for i := range c.Test[:10] {
+		doc := &c.Test[i]
+		trace, err := m.Trace("earn", doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := m.NewStream("earn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var streamOutputs []float64
+		for _, w := range doc.Words {
+			changed, err := s.Push(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st, ok := changed["earn"]; ok {
+				streamOutputs = append(streamOutputs, st.Output)
+			}
+		}
+		if len(streamOutputs) != len(trace) {
+			t.Fatalf("doc %d: stream consumed %d member words, trace has %d",
+				i, len(streamOutputs), len(trace))
+		}
+		for k := range trace {
+			if math.Abs(streamOutputs[k]-trace[k].Output) > 1e-12 {
+				t.Fatalf("doc %d word %d: stream %v != trace %v",
+					i, k, streamOutputs[k], trace[k].Output)
+			}
+		}
+		// Final state equals Score.
+		want, err := m.Score("earn", doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(trace) > 0 {
+			if got := s.State()["earn"].Output; math.Abs(got-want) > 1e-12 {
+				t.Fatalf("doc %d: final state %v != score %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestStreamStateBookkeeping(t *testing.T) {
+	m, c := trainedModel(t)
+	s, err := m.NewStream("earn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := &c.Test[0]
+	if _, err := s.PushAll(doc.Words); err != nil {
+		t.Fatal(err)
+	}
+	if s.Words() != len(doc.Words) {
+		t.Errorf("Words = %d, want %d", s.Words(), len(doc.Words))
+	}
+	st := s.State()["earn"]
+	trace, _ := m.Trace("earn", doc)
+	if st.Members != len(trace) {
+		t.Errorf("Members = %d, want %d", st.Members, len(trace))
+	}
+	s.Reset()
+	if s.Words() != 0 {
+		t.Error("Reset did not clear word count")
+	}
+	if got := s.State()["earn"]; got.Output != 0 || got.Members != 0 || got.InClass {
+		t.Errorf("Reset left state %+v", got)
+	}
+}
+
+func TestStreamDocumentBoundary(t *testing.T) {
+	// Processing doc A, resetting, then doc B must equal processing doc
+	// B alone.
+	m, c := trainedModel(t)
+	a, b := &c.Test[0], &c.Test[1]
+	s1, err := m.NewStream("earn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.PushAll(a.Words); err != nil {
+		t.Fatal(err)
+	}
+	s1.Reset()
+	got, err := s1.PushAll(b.Words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m.NewStream("earn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s2.PushAll(b.Words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["earn"] != want["earn"] {
+		t.Errorf("state after reset %+v != fresh stream %+v", got["earn"], want["earn"])
+	}
+}
+
+func TestThresholdF1Rule(t *testing.T) {
+	c := smallCorpus(t)
+	cfg := fastConfig("df")
+	cfg.GP.Tournaments = 60
+	cfg.Threshold = ThresholdF1
+	m, err := Train(cfg, c)
+	if err != nil {
+		t.Fatalf("Train(ThresholdF1): %v", err)
+	}
+	for _, cat := range m.Categories() {
+		thr := m.CategoryModelFor(cat).Threshold
+		if thr < -1.1 || thr > 1.1 {
+			t.Errorf("category %s threshold %v out of squash range", cat, thr)
+		}
+	}
+	if _, err := m.Evaluate(c.Test[:5]); err != nil {
+		t.Errorf("Evaluate: %v", err)
+	}
+}

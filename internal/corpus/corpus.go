@@ -1,0 +1,167 @@
+// Package corpus defines the document and corpus model shared by every
+// stage of the temporaldoc pipeline: pre-processing, feature selection,
+// SOM encoding and classification.
+//
+// A Document is an ordered sequence of tokens. Order is the point of the
+// whole system — the downstream encoder and classifier consume words one
+// after another in time, so nothing in this package may reorder tokens.
+package corpus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Document is a single text document after tokenisation. Words preserves
+// the original in-document order; Categories holds zero or more topic
+// labels (Reuters documents are frequently multi-labelled).
+type Document struct {
+	// ID is a corpus-unique identifier (e.g. the Reuters NEWID).
+	ID string
+	// Title is the document title, if any. It is informational only;
+	// classification operates on Words.
+	Title string
+	// Words is the ordered token sequence of the document body.
+	Words []string
+	// Categories is the set of topic labels assigned to the document.
+	Categories []string
+}
+
+// HasCategory reports whether the document carries the given label.
+func (d *Document) HasCategory(cat string) bool {
+	for _, c := range d.Categories {
+		if c == cat {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the document.
+func (d *Document) Clone() Document {
+	return Document{
+		ID:         d.ID,
+		Title:      d.Title,
+		Words:      append([]string(nil), d.Words...),
+		Categories: append([]string(nil), d.Categories...),
+	}
+}
+
+// Corpus is a labelled document collection with a fixed train/test split,
+// mirroring the Reuters-21578 ModApte arrangement used by the paper.
+type Corpus struct {
+	// Train holds the training split.
+	Train []Document
+	// Test holds the evaluation split.
+	Test []Document
+	// Categories lists the label inventory in a stable order.
+	Categories []string
+}
+
+// TrainFor returns the training documents labelled with cat.
+func (c *Corpus) TrainFor(cat string) []Document {
+	return docsFor(c.Train, cat)
+}
+
+// TestFor returns the test documents labelled with cat.
+func (c *Corpus) TestFor(cat string) []Document {
+	return docsFor(c.Test, cat)
+}
+
+func docsFor(docs []Document, cat string) []Document {
+	var out []Document
+	for i := range docs {
+		if docs[i].HasCategory(cat) {
+			out = append(out, docs[i])
+		}
+	}
+	return out
+}
+
+// CategoryCounts returns the number of training and test documents per
+// category, keyed by category name.
+func (c *Corpus) CategoryCounts() map[string][2]int {
+	counts := make(map[string][2]int, len(c.Categories))
+	for _, cat := range c.Categories {
+		counts[cat] = [2]int{len(c.TrainFor(cat)), len(c.TestFor(cat))}
+	}
+	return counts
+}
+
+// Vocabulary returns the sorted set of distinct words appearing in the
+// given documents.
+func Vocabulary(docs []Document) []string {
+	seen := make(map[string]struct{})
+	for i := range docs {
+		for _, w := range docs[i].Words {
+			seen[w] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for w := range seen {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks structural invariants: non-empty split sizes, every
+// document label present in the corpus label inventory, and unique IDs.
+// It returns the first violation found.
+func (c *Corpus) Validate() error {
+	if len(c.Train) == 0 {
+		return fmt.Errorf("corpus: empty training split")
+	}
+	if len(c.Test) == 0 {
+		return fmt.Errorf("corpus: empty test split")
+	}
+	known := make(map[string]struct{}, len(c.Categories))
+	for _, cat := range c.Categories {
+		if cat == "" {
+			return fmt.Errorf("corpus: empty category name in inventory")
+		}
+		if _, dup := known[cat]; dup {
+			return fmt.Errorf("corpus: duplicate category %q in inventory", cat)
+		}
+		known[cat] = struct{}{}
+	}
+	ids := make(map[string]struct{}, len(c.Train)+len(c.Test))
+	check := func(split string, docs []Document) error {
+		for i := range docs {
+			d := &docs[i]
+			if d.ID == "" {
+				return fmt.Errorf("corpus: %s[%d] has empty ID", split, i)
+			}
+			if _, dup := ids[d.ID]; dup {
+				return fmt.Errorf("corpus: duplicate document ID %q", d.ID)
+			}
+			ids[d.ID] = struct{}{}
+			for _, cat := range d.Categories {
+				if _, ok := known[cat]; !ok {
+					return fmt.Errorf("corpus: document %q labelled with unknown category %q", d.ID, cat)
+				}
+			}
+		}
+		return nil
+	}
+	if err := check("train", c.Train); err != nil {
+		return err
+	}
+	return check("test", c.Test)
+}
+
+// FilterWords returns a copy of doc whose Words sequence keeps only the
+// words present in keep, preserving the original order. This implements
+// the paper's post-feature-selection view of a document: the classifier
+// sees the ordered subsequence of selected features.
+func FilterWords(doc Document, keep map[string]bool) Document {
+	out := doc.Clone()
+	filtered := out.Words[:0]
+	for _, w := range out.Words {
+		if keep[w] {
+			filtered = append(filtered, w)
+		}
+	}
+	out.Words = filtered
+	return out
+}

@@ -1,0 +1,131 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+)
+
+func sampleCorpus() *Corpus {
+	return &Corpus{
+		Train: []Document{
+			{ID: "t1", Words: []string{"wheat", "crop", "export"}, Categories: []string{"grain", "wheat"}},
+			{ID: "t2", Words: []string{"profit", "dividend"}, Categories: []string{"earn"}},
+			{ID: "t3", Words: []string{"oil", "barrel"}, Categories: []string{"crude"}},
+		},
+		Test: []Document{
+			{ID: "s1", Words: []string{"wheat", "tonnes"}, Categories: []string{"grain"}},
+		},
+		Categories: []string{"earn", "grain", "wheat", "crude"},
+	}
+}
+
+func TestHasCategory(t *testing.T) {
+	d := Document{Categories: []string{"grain", "wheat"}}
+	if !d.HasCategory("grain") || !d.HasCategory("wheat") {
+		t.Error("expected labels missing")
+	}
+	if d.HasCategory("earn") {
+		t.Error("unexpected label present")
+	}
+	var empty Document
+	if empty.HasCategory("grain") {
+		t.Error("empty doc reported a label")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := Document{ID: "a", Words: []string{"x", "y"}, Categories: []string{"c"}}
+	c := d.Clone()
+	c.Words[0] = "mut"
+	c.Categories[0] = "mut"
+	if d.Words[0] != "x" || d.Categories[0] != "c" {
+		t.Error("Clone shares backing arrays")
+	}
+}
+
+func TestTrainForTestFor(t *testing.T) {
+	c := sampleCorpus()
+	if got := c.TrainFor("grain"); len(got) != 1 || got[0].ID != "t1" {
+		t.Errorf("TrainFor(grain) = %v", got)
+	}
+	if got := c.TestFor("grain"); len(got) != 1 || got[0].ID != "s1" {
+		t.Errorf("TestFor(grain) = %v", got)
+	}
+	if got := c.TrainFor("nope"); got != nil {
+		t.Errorf("TrainFor(nope) = %v, want nil", got)
+	}
+}
+
+func TestCategoryCounts(t *testing.T) {
+	c := sampleCorpus()
+	counts := c.CategoryCounts()
+	want := map[string][2]int{
+		"earn": {1, 0}, "grain": {1, 1}, "wheat": {1, 0}, "crude": {1, 0},
+	}
+	if !reflect.DeepEqual(counts, want) {
+		t.Errorf("CategoryCounts = %v, want %v", counts, want)
+	}
+}
+
+func TestVocabularySortedUnique(t *testing.T) {
+	docs := []Document{
+		{Words: []string{"b", "a", "b"}},
+		{Words: []string{"c", "a"}},
+	}
+	if got, want := Vocabulary(docs), []string{"a", "b", "c"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Vocabulary = %v, want %v", got, want)
+	}
+	if got := Vocabulary(nil); len(got) != 0 {
+		t.Errorf("Vocabulary(nil) = %v", got)
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sampleCorpus().Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Corpus)
+	}{
+		{"empty train", func(c *Corpus) { c.Train = nil }},
+		{"empty test", func(c *Corpus) { c.Test = nil }},
+		{"empty category name", func(c *Corpus) { c.Categories = append(c.Categories, "") }},
+		{"duplicate category", func(c *Corpus) { c.Categories = append(c.Categories, "earn") }},
+		{"empty doc ID", func(c *Corpus) { c.Train[0].ID = "" }},
+		{"duplicate doc ID", func(c *Corpus) { c.Test[0].ID = "t1" }},
+		{"unknown label", func(c *Corpus) { c.Train[1].Categories = []string{"mystery"} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := sampleCorpus()
+			tc.mutate(c)
+			if err := c.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestFilterWordsPreservesOrder(t *testing.T) {
+	doc := Document{ID: "d", Words: []string{"a", "b", "c", "a", "d", "b"}}
+	keep := map[string]bool{"a": true, "b": true}
+	got := FilterWords(doc, keep)
+	if want := []string{"a", "b", "a", "b"}; !reflect.DeepEqual(got.Words, want) {
+		t.Errorf("FilterWords = %v, want %v", got.Words, want)
+	}
+	// Original untouched.
+	if len(doc.Words) != 6 {
+		t.Error("FilterWords mutated its input")
+	}
+}
+
+func TestFilterWordsEmptyKeep(t *testing.T) {
+	doc := Document{ID: "d", Words: []string{"a", "b"}}
+	if got := FilterWords(doc, nil); len(got.Words) != 0 {
+		t.Errorf("FilterWords(nil keep) = %v", got.Words)
+	}
+}

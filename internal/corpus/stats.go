@@ -1,0 +1,84 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarises a document collection: sizes, lengths, vocabulary and
+// label structure.
+type Stats struct {
+	Documents      int
+	TotalWords     int
+	MeanWords      float64
+	MedianWords    int
+	MinWords       int
+	MaxWords       int
+	VocabularySize int
+	MultiLabel     int
+	LabelCounts    map[string]int
+}
+
+// ComputeStats summarises the given documents.
+func ComputeStats(docs []Document) Stats {
+	s := Stats{LabelCounts: make(map[string]int)}
+	if len(docs) == 0 {
+		return s
+	}
+	s.Documents = len(docs)
+	lengths := make([]int, 0, len(docs))
+	vocab := make(map[string]struct{})
+	s.MinWords = len(docs[0].Words)
+	for i := range docs {
+		d := &docs[i]
+		n := len(d.Words)
+		s.TotalWords += n
+		lengths = append(lengths, n)
+		if n < s.MinWords {
+			s.MinWords = n
+		}
+		if n > s.MaxWords {
+			s.MaxWords = n
+		}
+		for _, w := range d.Words {
+			vocab[w] = struct{}{}
+		}
+		if len(d.Categories) > 1 {
+			s.MultiLabel++
+		}
+		for _, cat := range d.Categories {
+			s.LabelCounts[cat]++
+		}
+	}
+	s.MeanWords = float64(s.TotalWords) / float64(len(docs))
+	sort.Ints(lengths)
+	s.MedianWords = lengths[len(lengths)/2]
+	s.VocabularySize = len(vocab)
+	return s
+}
+
+// Format renders the stats.
+func (s Stats) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "documents      %d\n", s.Documents)
+	fmt.Fprintf(&b, "total words    %d\n", s.TotalWords)
+	fmt.Fprintf(&b, "words/doc      mean %.1f, median %d, min %d, max %d\n",
+		s.MeanWords, s.MedianWords, s.MinWords, s.MaxWords)
+	fmt.Fprintf(&b, "vocabulary     %d distinct words\n", s.VocabularySize)
+	fmt.Fprintf(&b, "multi-label    %d documents\n", s.MultiLabel)
+	cats := make([]string, 0, len(s.LabelCounts))
+	for cat := range s.LabelCounts {
+		cats = append(cats, cat)
+	}
+	sort.Slice(cats, func(i, j int) bool {
+		if s.LabelCounts[cats[i]] != s.LabelCounts[cats[j]] {
+			return s.LabelCounts[cats[i]] > s.LabelCounts[cats[j]]
+		}
+		return cats[i] < cats[j]
+	})
+	for _, cat := range cats {
+		fmt.Fprintf(&b, "  %-12s %d\n", cat, s.LabelCounts[cat])
+	}
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(nil)
+	if s.Documents != 0 || s.TotalWords != 0 || s.VocabularySize != 0 {
+		t.Errorf("empty stats: %+v", s)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	docs := []Document{
+		{ID: "1", Words: []string{"a", "b", "a"}, Categories: []string{"x"}},
+		{ID: "2", Words: []string{"c"}, Categories: []string{"x", "y"}},
+		{ID: "3", Words: []string{"a", "b", "c", "d", "e"}, Categories: []string{"y"}},
+	}
+	s := ComputeStats(docs)
+	if s.Documents != 3 {
+		t.Errorf("Documents = %d", s.Documents)
+	}
+	if s.TotalWords != 9 {
+		t.Errorf("TotalWords = %d", s.TotalWords)
+	}
+	if s.MinWords != 1 || s.MaxWords != 5 || s.MedianWords != 3 {
+		t.Errorf("length stats: %+v", s)
+	}
+	if s.MeanWords != 3 {
+		t.Errorf("MeanWords = %v", s.MeanWords)
+	}
+	if s.VocabularySize != 5 {
+		t.Errorf("VocabularySize = %d", s.VocabularySize)
+	}
+	if s.MultiLabel != 1 {
+		t.Errorf("MultiLabel = %d", s.MultiLabel)
+	}
+	if s.LabelCounts["x"] != 2 || s.LabelCounts["y"] != 2 {
+		t.Errorf("LabelCounts = %v", s.LabelCounts)
+	}
+}
+
+func TestStatsFormat(t *testing.T) {
+	docs := []Document{
+		{ID: "1", Words: []string{"a"}, Categories: []string{"earn"}},
+	}
+	out := ComputeStats(docs).Format()
+	for _, want := range []string{"documents", "vocabulary", "earn"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"temporaldoc/internal/core"
+	"temporaldoc/internal/corpus"
+	"temporaldoc/internal/featsel"
+	"temporaldoc/internal/lgp"
+)
+
+// AblationResult compares two variants of one design choice.
+type AblationResult struct {
+	Name           string
+	VariantA       string
+	VariantB       string
+	MicroA, MicroB float64
+	MacroA, MacroB float64
+	FitnessA       float64 // mean training fitness over categories
+	FitnessB       float64
+}
+
+// Format renders the comparison.
+func (r *AblationResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: %s\n", r.Name)
+	fmt.Fprintf(&b, "%-28s microF1=%.3f macroF1=%.3f meanFitness=%.2f\n",
+		r.VariantA, r.MicroA, r.MacroA, r.FitnessA)
+	fmt.Fprintf(&b, "%-28s microF1=%.3f macroF1=%.3f meanFitness=%.2f\n",
+		r.VariantB, r.MicroB, r.MacroB, r.FitnessB)
+	return b.String()
+}
+
+// runVariant trains and evaluates one pipeline configuration.
+func runVariant(cfg core.Config, c *corpus.Corpus) (micro, macro, meanFitness float64, err error) {
+	model, err := core.Train(cfg, c)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	set, err := model.Evaluate(c.Test)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var fit float64
+	for _, cat := range model.Categories() {
+		fit += model.CategoryModelFor(cat).Fitness
+	}
+	fit /= float64(len(model.Categories()))
+	return set.MicroF1(), set.MacroF1(), fit, nil
+}
+
+func (p Profile) ablate(name, labelA, labelB string, c *corpus.Corpus,
+	mutateA, mutateB func(*core.Config)) (*AblationResult, error) {
+	base := p.coreConfig(featsel.DF)
+	cfgA, cfgB := base, base
+	mutateA(&cfgA)
+	mutateB(&cfgB)
+	microA, macroA, fitA, err := runVariant(cfgA, c)
+	if err != nil {
+		return nil, fmt.Errorf("%s variant A: %w", name, err)
+	}
+	microB, macroB, fitB, err := runVariant(cfgB, c)
+	if err != nil {
+		return nil, fmt.Errorf("%s variant B: %w", name, err)
+	}
+	return &AblationResult{
+		Name: name, VariantA: labelA, VariantB: labelB,
+		MicroA: microA, MacroA: macroA, FitnessA: fitA,
+		MicroB: microB, MacroB: macroB, FitnessB: fitB,
+	}, nil
+}
+
+// RunAblationRecurrence compares RLGP against the register-reset variant:
+// the paper's central claim is that temporal state matters.
+func RunAblationRecurrence(p Profile, c *corpus.Corpus) (*AblationResult, error) {
+	return p.ablate("recurrent vs non-recurrent LGP",
+		"recurrent (RLGP, paper)", "non-recurrent (reset/word)", c,
+		func(cfg *core.Config) { cfg.GP.Recurrent = true },
+		func(cfg *core.Config) { cfg.GP.Recurrent = false })
+}
+
+// RunAblationBMUFanout compares the paper's 3-BMU word vectors (weights
+// 1, 1/2, 1/3) against single-BMU vectors.
+func RunAblationBMUFanout(p Profile, c *corpus.Corpus) (*AblationResult, error) {
+	return p.ablate("3-BMU vs 1-BMU word vectors",
+		"fanout 3 (paper)", "fanout 1", c,
+		func(cfg *core.Config) { cfg.Encoder.BMUFanout = 3 },
+		func(cfg *core.Config) { cfg.Encoder.BMUFanout = 1 })
+}
+
+// RunAblationDSS compares DSS subset fitness evaluation against
+// full-training-set evaluation at an equal tournament budget.
+func RunAblationDSS(p Profile, c *corpus.Corpus) (*AblationResult, error) {
+	return p.ablate("DSS vs full-set fitness",
+		"DSS (paper)", "full training set", c,
+		func(cfg *core.Config) {
+			if cfg.GP.DSS == nil {
+				cfg.GP.DSS = &lgp.DSSConfig{SubsetSize: 40, Interval: 50}
+			}
+		},
+		func(cfg *core.Config) { cfg.GP.DSS = nil })
+}
+
+// RunAblationDynamicPages compares the dynamic page-size schedule against
+// a fixed single-instruction page.
+func RunAblationDynamicPages(p Profile, c *corpus.Corpus) (*AblationResult, error) {
+	return p.ablate("dynamic vs fixed page size",
+		"dynamic pages (paper)", "fixed page size 1", c,
+		func(cfg *core.Config) {},
+		func(cfg *core.Config) {
+			// MaxPageSize 1 pins the schedule at single-instruction
+			// pages; keep the node limit equal.
+			cfg.GP.MaxPages = cfg.GP.MaxPages * cfg.GP.MaxPageSize
+			cfg.GP.MaxPageSize = 1
+		})
+}
+
+// RunAblationMembership compares the full 2-dimensional word code against
+// BMU-index-only input.
+func RunAblationMembership(p Profile, c *corpus.Corpus) (*AblationResult, error) {
+	return p.ablate("membership input vs index-only",
+		"index+membership (paper)", "index only", c,
+		func(cfg *core.Config) { cfg.DropMembershipInput = false },
+		func(cfg *core.Config) { cfg.DropMembershipInput = true })
+}
+
+// RunAblationThresholdRule compares Equation 6's median-of-medians
+// decision threshold against a training-F1-maximising sweep.
+func RunAblationThresholdRule(p Profile, c *corpus.Corpus) (*AblationResult, error) {
+	return p.ablate("Equation 6 vs F1-tuned threshold",
+		"median of medians (Eq. 6)", "F1-tuned threshold", c,
+		func(cfg *core.Config) { cfg.Threshold = core.ThresholdMedian },
+		func(cfg *core.Config) { cfg.Threshold = core.ThresholdF1 })
+}
+
+// RunAblationF1Fitness compares the paper's SSE fitness (Equation 5)
+// against the F1-based fitness its conclusion proposes as future work.
+func RunAblationF1Fitness(p Profile, c *corpus.Corpus) (*AblationResult, error) {
+	return p.ablate("SSE vs F1 fitness",
+		"SSE fitness (paper)", "F1 fitness (future work)", c,
+		func(cfg *core.Config) { cfg.GP.Fitness = lgp.FitnessSSE },
+		func(cfg *core.Config) { cfg.GP.Fitness = lgp.FitnessF1 })
+}
+
+// RunAblationStratifiedDSS compares plain difficulty/age DSS against the
+// category-aware stratified variant the paper proposes as future work.
+func RunAblationStratifiedDSS(p Profile, c *corpus.Corpus) (*AblationResult, error) {
+	ensure := func(cfg *core.Config) {
+		if cfg.GP.DSS == nil {
+			cfg.GP.DSS = &lgp.DSSConfig{SubsetSize: 40, Interval: 50}
+		} else {
+			dss := *cfg.GP.DSS
+			cfg.GP.DSS = &dss
+		}
+	}
+	return p.ablate("plain vs stratified DSS",
+		"difficulty/age DSS (paper)", "stratified DSS (future work)", c,
+		func(cfg *core.Config) { ensure(cfg); cfg.GP.DSS.Stratify = false },
+		func(cfg *core.Config) { ensure(cfg); cfg.GP.DSS.Stratify = true })
+}

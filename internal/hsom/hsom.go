@@ -1,0 +1,496 @@
+// Package hsom implements the paper's hierarchical SOM encoding
+// architecture (sections 5 and 6):
+//
+//   - a first-level 7×13 SOM trained on (character, position) pairs of
+//     every character occurrence in the training corpus — a character
+//     code-book;
+//   - one second-level 8×8 SOM per category, trained on 91-dimensional
+//     word vectors built from the three most affected first-level BMUs of
+//     each character (contributions 1, 1/2 and 1/3) — a word code-book
+//     per category;
+//   - per-category selection of the most informative BMUs from the hit
+//     histogram (the minimal top-hit set such that every training
+//     document of the category still hits at least one selected unit);
+//   - a Gaussian membership function per selected BMU, used both to
+//     decide whether a word is a member word of the category and as the
+//     second dimension of the word representation fed to the classifier.
+//
+// The encoder turns a document into an ordered sequence of 2-dimensional
+// word codes (normalised BMU index, Gaussian membership) — the temporal
+// representation the RLGP classifier consumes.
+package hsom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"temporaldoc/internal/corpus"
+	"temporaldoc/internal/som"
+)
+
+// Config parameterises the two SOM levels. DefaultConfig reproduces the
+// paper's geometry.
+type Config struct {
+	// CharWidth, CharHeight give the first-level map size (paper: 7×13).
+	CharWidth, CharHeight int
+	// WordWidth, WordHeight give the second-level map size (paper: 8×8).
+	WordWidth, WordHeight int
+	// CharEpochs and WordEpochs are training passes for each level.
+	CharEpochs, WordEpochs int
+	// BMUFanout is how many first-level BMUs represent each character
+	// (paper: 3, with contributions 1, 1/2, 1/3).
+	BMUFanout int
+	// Seed drives weight initialisation at both levels.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's architecture: 7×13 character map,
+// 8×8 word maps, 3-BMU fan-out.
+func DefaultConfig() Config {
+	return Config{
+		CharWidth: 7, CharHeight: 13,
+		WordWidth: 8, WordHeight: 8,
+		CharEpochs: 5, WordEpochs: 10,
+		BMUFanout: 3,
+		Seed:      1,
+	}
+}
+
+func (c *Config) setDefaults() {
+	d := DefaultConfig()
+	if c.CharWidth <= 0 {
+		c.CharWidth = d.CharWidth
+	}
+	if c.CharHeight <= 0 {
+		c.CharHeight = d.CharHeight
+	}
+	if c.WordWidth <= 0 {
+		c.WordWidth = d.WordWidth
+	}
+	if c.WordHeight <= 0 {
+		c.WordHeight = d.WordHeight
+	}
+	if c.CharEpochs <= 0 {
+		c.CharEpochs = d.CharEpochs
+	}
+	if c.WordEpochs <= 0 {
+		c.WordEpochs = d.WordEpochs
+	}
+	if c.BMUFanout <= 0 {
+		c.BMUFanout = d.BMUFanout
+	}
+}
+
+// CharInputs enumerates the 2-dimensional character inputs of a word:
+// the first dimension is the letter code (a=1 … z=26), the second is
+// 2·index−1 for the 1-based character index, spreading both dimensions
+// over a similar range so neither biases SOM training (section 5).
+// Non-letter bytes are skipped (pre-processing removes them anyway).
+func CharInputs(word string) [][]float64 {
+	out := make([][]float64, 0, len(word))
+	pos := 0
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if c >= 'A' && c <= 'Z' {
+			c = c - 'A' + 'a'
+		}
+		if c < 'a' || c > 'z' {
+			continue
+		}
+		pos++
+		out = append(out, []float64{float64(c-'a') + 1, float64(2*pos - 1)})
+	}
+	return out
+}
+
+// WordCode is the classifier-facing representation of one word occurrence
+// (section 6.2): the normalised index of the word's BMU on the category
+// SOM and its Gaussian membership value. Member reports whether the word
+// passed both the BMU-selection and membership filters; non-member words
+// carry zero NormIndex/Membership and are skipped by the classifier.
+type WordCode struct {
+	Word       string
+	Unit       int     // BMU index on the category word SOM
+	NormIndex  float64 // Unit normalised to [0,1]
+	Membership float64 // Gaussian membership, normalised to (0,1] per BMU
+	Member     bool
+}
+
+// Gaussian is a per-BMU membership function: the mean vector and scalar
+// variance of all training word vectors that selected the BMU
+// (Figure 4). Values are evaluated as
+//
+//	G(x) = 1/(σ√2π) · exp(−‖x−M‖² / 2σ²)
+type Gaussian struct {
+	Mean     []float64
+	Variance float64
+	// MaxValue is the largest raw G over the BMU's training words; raw
+	// values are divided by it so memberships lie in (0,1] regardless of
+	// how small σ is (a numerical-stability normalisation; the paper
+	// uses the raw value).
+	MaxValue float64
+	// MinValue is the smallest raw G over the BMU's training words —
+	// the paper's membership threshold.
+	MinValue float64
+}
+
+// Eval returns the raw Gaussian value at x.
+func (g *Gaussian) Eval(x []float64) float64 {
+	var d2 float64
+	for i := range g.Mean {
+		diff := x[i] - g.Mean[i]
+		d2 += diff * diff
+	}
+	sigma2 := g.Variance
+	if sigma2 < 1e-12 {
+		// Degenerate BMU: all training words identical. Exact matches
+		// get the max value, everything else decays sharply.
+		sigma2 = 1e-12
+	}
+	return 1 / math.Sqrt(2*math.Pi*sigma2) * math.Exp(-d2/(2*sigma2))
+}
+
+// CategoryEncoder is the trained second-level machinery of one category:
+// its word SOM, the selected informative BMUs, and a Gaussian membership
+// function per selected BMU.
+type CategoryEncoder struct {
+	Category string
+	Map      *som.Map
+	selected []int
+	gauss    map[int]*Gaussian
+	hits     []int // training hit histogram over all units
+}
+
+// SelectedBMUs returns the selected (informative) unit indices in
+// decreasing training-hit order.
+func (ce *CategoryEncoder) SelectedBMUs() []int {
+	return append([]int(nil), ce.selected...)
+}
+
+// Hits returns the training hit histogram over all units of the map.
+func (ce *CategoryEncoder) Hits() []int { return append([]int(nil), ce.hits...) }
+
+// Encoder is the full two-level architecture.
+type Encoder struct {
+	cfg        Config
+	charMap    *som.Map
+	categories map[string]*CategoryEncoder
+}
+
+// Train builds the hierarchy from training documents. perCategory maps
+// each category name to the training documents whose words feed that
+// category's word SOM (already filtered by feature selection). The
+// character map is trained on every character of every word of every
+// supplied document, repeated as often as it occurs (section 5).
+func Train(cfg Config, perCategory map[string][]corpus.Document) (*Encoder, error) {
+	cfg.setDefaults()
+	if len(perCategory) == 0 {
+		return nil, fmt.Errorf("hsom: no categories to train")
+	}
+
+	// Level 1: character code-book over the union of all documents.
+	// Categories are visited in sorted order: map iteration order would
+	// otherwise make the presentation sequence — and the trained map —
+	// nondeterministic.
+	cats := make([]string, 0, len(perCategory))
+	for cat := range perCategory {
+		cats = append(cats, cat)
+	}
+	sort.Strings(cats)
+	var charInputs [][]float64
+	seenDocs := make(map[string]bool)
+	for _, cat := range cats {
+		for i := range perCategory[cat] {
+			d := &perCategory[cat][i]
+			if seenDocs[d.ID] {
+				continue
+			}
+			seenDocs[d.ID] = true
+			for _, w := range d.Words {
+				charInputs = append(charInputs, CharInputs(w)...)
+			}
+		}
+	}
+	if len(charInputs) == 0 {
+		return nil, fmt.Errorf("hsom: no characters in training documents")
+	}
+	charMap, err := som.New(som.Config{
+		Width: cfg.CharWidth, Height: cfg.CharHeight, Dim: 2,
+		Epochs:              cfg.CharEpochs,
+		InitialLearningRate: 0.5,
+		Seed:                cfg.Seed,
+	}, 26)
+	if err != nil {
+		return nil, fmt.Errorf("hsom: char map: %w", err)
+	}
+	if err := charMap.Train(charInputs); err != nil {
+		return nil, fmt.Errorf("hsom: char map training: %w", err)
+	}
+
+	enc := &Encoder{cfg: cfg, charMap: charMap, categories: make(map[string]*CategoryEncoder, len(perCategory))}
+
+	// Level 2: one word code-book per category, in deterministic order.
+	for seedOffset, cat := range cats {
+		ce, err := enc.trainCategory(cat, perCategory[cat], cfg.Seed+int64(seedOffset)+1)
+		if err != nil {
+			return nil, fmt.Errorf("hsom: category %s: %w", cat, err)
+		}
+		enc.categories[cat] = ce
+	}
+	return enc, nil
+}
+
+// WordVector builds the 91-dimensional (char-map-unit-count) vector of a
+// word: for each character, the three most affected first-level BMUs
+// contribute 1, 1/2 and 1/3 to their entries (section 5).
+func (e *Encoder) WordVector(word string) []float64 {
+	vec := make([]float64, e.charMap.Units())
+	for _, ci := range CharInputs(word) {
+		near := e.charMap.NearestK(ci, e.cfg.BMUFanout)
+		for rank, unit := range near {
+			vec[unit] += 1 / float64(rank+1)
+		}
+	}
+	return vec
+}
+
+// CharMap exposes the trained first-level map.
+func (e *Encoder) CharMap() *som.Map { return e.charMap }
+
+// Category returns the trained encoder of a category, or nil.
+func (e *Encoder) Category(cat string) *CategoryEncoder { return e.categories[cat] }
+
+// Categories lists trained category names in sorted order.
+func (e *Encoder) Categories() []string {
+	out := make([]string, 0, len(e.categories))
+	for c := range e.categories {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (e *Encoder) trainCategory(cat string, docs []corpus.Document, seed int64) (*CategoryEncoder, error) {
+	// Words are presented as often as they occur and in corpus order
+	// (section 5: "as many times as they occur in the category (and in
+	// the same order)").
+	var wordVecs [][]float64
+	docRanges := make([][2]int, len(docs)) // word-vector index range per doc
+	for i := range docs {
+		start := len(wordVecs)
+		for _, w := range docs[i].Words {
+			wordVecs = append(wordVecs, e.WordVector(w))
+		}
+		docRanges[i] = [2]int{start, len(wordVecs)}
+	}
+	if len(wordVecs) == 0 {
+		return nil, fmt.Errorf("no words in training documents")
+	}
+	wordMap, err := som.New(som.Config{
+		Width: e.cfg.WordWidth, Height: e.cfg.WordHeight, Dim: e.charMap.Units(),
+		Epochs:              e.cfg.WordEpochs,
+		InitialLearningRate: 0.3,
+		Seed:                seed,
+		Shuffle:             false,
+	}, 3)
+	if err != nil {
+		return nil, err
+	}
+	if err := wordMap.Train(wordVecs); err != nil {
+		return nil, err
+	}
+
+	// BMU of every training word occurrence.
+	bmus := make([]int, len(wordVecs))
+	hits := make([]int, wordMap.Units())
+	for i, v := range wordVecs {
+		bmus[i] = wordMap.BMU(v)
+		hits[bmus[i]]++
+	}
+
+	selected := selectInformativeBMUs(hits, bmus, docRanges)
+	selectedSet := make(map[int]bool, len(selected))
+	for _, u := range selected {
+		selectedSet[u] = true
+	}
+
+	// Gaussian membership per selected BMU (Figure 4).
+	gauss := make(map[int]*Gaussian, len(selected))
+	for _, u := range selected {
+		g := fitGaussian(wordVecs, bmus, u)
+		gauss[u] = g
+	}
+	return &CategoryEncoder{
+		Category: cat,
+		Map:      wordMap,
+		selected: selected,
+		gauss:    gauss,
+		hits:     hits,
+	}, nil
+}
+
+// selectInformativeBMUs returns units in decreasing hit order, taking
+// units until every training document has at least one word occurrence
+// whose BMU is in the set (the paper's coverage heuristic, section 6.2).
+func selectInformativeBMUs(hits []int, bmus []int, docRanges [][2]int) []int {
+	order := make([]int, len(hits))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if hits[order[i]] != hits[order[j]] {
+			return hits[order[i]] > hits[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	selected := make([]int, 0, 8)
+	selectedSet := make(map[int]bool)
+	covered := make([]bool, len(docRanges))
+	remaining := 0
+	for i, r := range docRanges {
+		if r[0] == r[1] {
+			covered[i] = true // empty doc can never be covered
+			continue
+		}
+		remaining++
+	}
+	for _, u := range order {
+		if remaining == 0 {
+			break
+		}
+		if hits[u] == 0 {
+			break
+		}
+		selected = append(selected, u)
+		selectedSet[u] = true
+		for i, r := range docRanges {
+			if covered[i] {
+				continue
+			}
+			for k := r[0]; k < r[1]; k++ {
+				if selectedSet[bmus[k]] {
+					covered[i] = true
+					remaining--
+					break
+				}
+			}
+		}
+	}
+	return selected
+}
+
+// fitGaussian computes the mean vector and scalar variance of the word
+// vectors whose BMU is unit u, plus the max/min raw Gaussian values over
+// those words (Figure 4).
+func fitGaussian(wordVecs [][]float64, bmus []int, u int) *Gaussian {
+	var members [][]float64
+	for i, b := range bmus {
+		if b == u {
+			members = append(members, wordVecs[i])
+		}
+	}
+	dim := len(wordVecs[0])
+	mean := make([]float64, dim)
+	for _, v := range members {
+		for d := range v {
+			mean[d] += v[d]
+		}
+	}
+	for d := range mean {
+		mean[d] /= float64(len(members))
+	}
+	var variance float64
+	for _, v := range members {
+		var d2 float64
+		for d := range v {
+			diff := v[d] - mean[d]
+			d2 += diff * diff
+		}
+		variance += d2
+	}
+	variance /= float64(len(members))
+	g := &Gaussian{Mean: mean, Variance: variance}
+	g.MaxValue, g.MinValue = math.Inf(-1), math.Inf(1)
+	for _, v := range members {
+		val := g.Eval(v)
+		if val > g.MaxValue {
+			g.MaxValue = val
+		}
+		if val < g.MinValue {
+			g.MinValue = val
+		}
+	}
+	return g
+}
+
+// Encode maps a document's ordered words onto the category's code-book:
+// each word becomes a WordCode. A word is a member word when its BMU is
+// one of the selected informative units and its Gaussian membership
+// reaches the minimum membership observed among the BMU's training words
+// (section 6.2). The classifier consumes only member words, in order.
+func (e *Encoder) Encode(cat string, words []string) ([]WordCode, error) {
+	ce := e.categories[cat]
+	if ce == nil {
+		return nil, fmt.Errorf("hsom: category %q not trained", cat)
+	}
+	units := float64(ce.Map.Units() - 1)
+	out := make([]WordCode, 0, len(words))
+	for _, w := range words {
+		vec := e.WordVector(w)
+		u := ce.Map.BMU(vec)
+		code := WordCode{Word: w, Unit: u}
+		if g, ok := ce.gauss[u]; ok {
+			raw := g.Eval(vec)
+			if raw >= g.MinValue {
+				code.Member = true
+				code.NormIndex = float64(u) / units
+				code.Membership = raw / g.MaxValue
+				if code.Membership > 1 {
+					code.Membership = 1
+				}
+			}
+		}
+		out = append(out, code)
+	}
+	return out, nil
+}
+
+// BMUTrace returns the ordered BMU indices of a document's words on the
+// category map — the Figure 3 view {8 → 1 → 43 → …}.
+func (e *Encoder) BMUTrace(cat string, words []string) ([]int, error) {
+	ce := e.categories[cat]
+	if ce == nil {
+		return nil, fmt.Errorf("hsom: category %q not trained", cat)
+	}
+	out := make([]int, len(words))
+	for i, w := range words {
+		out[i] = ce.Map.BMU(e.WordVector(w))
+	}
+	return out, nil
+}
+
+// RenderHitGrid renders the category map's training hit histogram as an
+// ASCII grid with selected units marked by '*' — the Figure 3
+// visualisation.
+func (ce *CategoryEncoder) RenderHitGrid() string {
+	sel := make(map[int]bool, len(ce.selected))
+	for _, u := range ce.selected {
+		sel[u] = true
+	}
+	var b strings.Builder
+	cfg := ce.Map.Config()
+	for y := 0; y < cfg.Height; y++ {
+		for x := 0; x < cfg.Width; x++ {
+			u := ce.Map.UnitAt(x, y)
+			mark := " "
+			if sel[u] {
+				mark = "*"
+			}
+			fmt.Fprintf(&b, "%5d%s", ce.hits[u], mark)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package hsom
+
+import (
+	"fmt"
+	"math"
+
+	"temporaldoc/internal/som"
+)
+
+// SizeCandidate is one evaluated map geometry.
+type SizeCandidate struct {
+	Width, Height int
+	// FinalAWC is the average weight change of the last training epoch —
+	// the paper's size-selection signal ("Based on the observation of
+	// average weight change (AWC) the size we used ... is 7 by 13").
+	FinalAWC float64
+	// QuantizationError is the mean input-to-BMU distance after
+	// training.
+	QuantizationError float64
+	// Units is Width*Height.
+	Units int
+}
+
+// qeTolerance is the elbow rule's slack: the smallest map whose
+// quantisation error is within this factor of the best candidate wins.
+// Larger maps always quantise better, so raw QE alone would always pick
+// the biggest geometry.
+const qeTolerance = 1.10
+
+// SuggestMapSize trains a throwaway SOM for every candidate geometry and
+// returns all candidates (for inspection) plus the index of the chosen
+// one: the smallest map whose quantisation error is within qeTolerance
+// of the best — a scale-free elbow rule standing in for the paper's
+// manual AWC-curve inspection. Inputs and epochs mirror the intended
+// production training.
+func SuggestMapSize(inputs [][]float64, epochs int, seed int64, candidates [][2]int) ([]SizeCandidate, int, error) {
+	if len(inputs) == 0 {
+		return nil, 0, fmt.Errorf("hsom: no inputs for size search")
+	}
+	if len(candidates) == 0 {
+		return nil, 0, fmt.Errorf("hsom: no candidate sizes")
+	}
+	if epochs <= 0 {
+		epochs = 3
+	}
+	dim := len(inputs[0])
+	// Estimate the input scale for weight initialisation.
+	var maxAbs float64
+	for _, x := range inputs {
+		for _, v := range x {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	out := make([]SizeCandidate, 0, len(candidates))
+	for _, wh := range candidates {
+		m, err := som.New(som.Config{
+			Width: wh[0], Height: wh[1], Dim: dim,
+			Epochs:              epochs,
+			InitialLearningRate: 0.5,
+			Seed:                seed,
+		}, maxAbs)
+		if err != nil {
+			return nil, 0, fmt.Errorf("hsom: candidate %dx%d: %w", wh[0], wh[1], err)
+		}
+		if err := m.Train(inputs); err != nil {
+			return nil, 0, fmt.Errorf("hsom: candidate %dx%d: %w", wh[0], wh[1], err)
+		}
+		awc := m.AWC()
+		c := SizeCandidate{
+			Width: wh[0], Height: wh[1],
+			FinalAWC:          awc[len(awc)-1],
+			QuantizationError: m.QuantizationError(inputs),
+			Units:             wh[0] * wh[1],
+		}
+		out = append(out, c)
+	}
+	bestQE := math.Inf(1)
+	for _, c := range out {
+		if c.QuantizationError < bestQE {
+			bestQE = c.QuantizationError
+		}
+	}
+	// The absolute floor keeps the rule meaningful when every candidate
+	// quantises a degenerate (near-point) distribution almost perfectly.
+	threshold := bestQE*qeTolerance + 1e-3*maxAbs
+	best := 0
+	bestUnits := math.MaxInt
+	for i, c := range out {
+		if c.QuantizationError <= threshold && c.Units < bestUnits {
+			best, bestUnits = i, c.Units
+		}
+	}
+	return out, best, nil
+}

@@ -1,0 +1,88 @@
+package hsom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSuggestMapSizeValidation(t *testing.T) {
+	if _, _, err := SuggestMapSize(nil, 2, 1, [][2]int{{2, 2}}); err == nil {
+		t.Error("empty inputs accepted")
+	}
+	if _, _, err := SuggestMapSize([][]float64{{1, 2}}, 2, 1, nil); err == nil {
+		t.Error("no candidates accepted")
+	}
+	if _, _, err := SuggestMapSize([][]float64{{1, 2}}, 2, 1, [][2]int{{0, 2}}); err == nil {
+		t.Error("bad geometry accepted")
+	}
+}
+
+func TestSuggestMapSizeReturnsAllCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inputs := make([][]float64, 100)
+	for i := range inputs {
+		inputs[i] = []float64{rng.Float64() * 26, rng.Float64() * 25}
+	}
+	cands := [][2]int{{2, 2}, {4, 4}, {7, 13}}
+	out, best, err := SuggestMapSize(inputs, 2, 1, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(cands) {
+		t.Fatalf("got %d candidates", len(out))
+	}
+	if best < 0 || best >= len(out) {
+		t.Fatalf("best index %d", best)
+	}
+	for i, c := range out {
+		if c.Units != cands[i][0]*cands[i][1] {
+			t.Errorf("candidate %d units %d", i, c.Units)
+		}
+		if c.QuantizationError < 0 || c.FinalAWC < 0 {
+			t.Errorf("candidate %d has negative diagnostics: %+v", i, c)
+		}
+	}
+	// Bigger maps quantise better on random data.
+	if out[2].QuantizationError > out[0].QuantizationError {
+		t.Errorf("QE did not improve with size: %v vs %v",
+			out[2].QuantizationError, out[0].QuantizationError)
+	}
+}
+
+func TestSuggestMapSizePicksSmallMapForTightCluster(t *testing.T) {
+	// A single tight cluster needs very few units; the size penalty must
+	// steer the choice away from the largest map.
+	rng := rand.New(rand.NewSource(2))
+	inputs := make([][]float64, 120)
+	for i := range inputs {
+		inputs[i] = []float64{5 + rng.Float64()*0.01, 5 + rng.Float64()*0.01}
+	}
+	out, best, err := SuggestMapSize(inputs, 3, 1, [][2]int{{2, 2}, {10, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[best].Units != 4 {
+		t.Errorf("picked %dx%d for a point cluster", out[best].Width, out[best].Height)
+	}
+}
+
+func TestSuggestMapSizePrefersSmallOnTies(t *testing.T) {
+	// Uniform 1-D line: a 1xN map with enough units quantises about as
+	// well as a much larger one, so the elbow rule must not pick the
+	// largest geometry outright.
+	rng := rand.New(rand.NewSource(3))
+	inputs := make([][]float64, 200)
+	for i := range inputs {
+		inputs[i] = []float64{rng.Float64() * 10, 0}
+	}
+	out, best, err := SuggestMapSize(inputs, 3, 1, [][2]int{{25, 1}, {25, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both resolve the line; QEs should be close and the smaller map
+	// must be chosen if within tolerance.
+	if out[0].QuantizationError <= out[1].QuantizationError*qeTolerance && out[best].Units != 25 {
+		t.Errorf("picked %d units despite small map within tolerance (QEs %v, %v)",
+			out[best].Units, out[0].QuantizationError, out[1].QuantizationError)
+	}
+}

@@ -1,0 +1,59 @@
+package hsom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// WordMap projects a vocabulary onto a category's word SOM: the result
+// maps each unit index to the distinct words whose BMU it is, sorted —
+// the word-level annotation of the paper's Figure 3 ("words [that] have
+// similar characters on close positions are projected to the same BMU
+// or close BMUs").
+func (e *Encoder) WordMap(cat string, words []string) (map[int][]string, error) {
+	ce := e.categories[cat]
+	if ce == nil {
+		return nil, fmt.Errorf("hsom: category %q not trained", cat)
+	}
+	seen := make(map[string]bool, len(words))
+	out := make(map[int][]string)
+	for _, w := range words {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		u := ce.Map.BMU(e.WordVector(w))
+		out[u] = append(out[u], w)
+	}
+	for u := range out {
+		sort.Strings(out[u])
+	}
+	return out, nil
+}
+
+// RenderWordGrid renders the word map as one line per occupied unit:
+// "unit (x,y): word word ...", units in index order, at most maxWords
+// words per unit (0 = all).
+func (e *Encoder) RenderWordGrid(cat string, words []string, maxWords int) (string, error) {
+	wm, err := e.WordMap(cat, words)
+	if err != nil {
+		return "", err
+	}
+	ce := e.categories[cat]
+	units := make([]int, 0, len(wm))
+	for u := range wm {
+		units = append(units, u)
+	}
+	sort.Ints(units)
+	var b strings.Builder
+	for _, u := range units {
+		ws := wm[u]
+		if maxWords > 0 && len(ws) > maxWords {
+			ws = ws[:maxWords]
+		}
+		x, y := ce.Map.Coords(u)
+		fmt.Fprintf(&b, "unit %2d (%d,%d): %s\n", u, x, y, strings.Join(ws, " "))
+	}
+	return b.String(), nil
+}

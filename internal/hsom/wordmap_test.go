@@ -1,0 +1,91 @@
+package hsom
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWordMapProjection(t *testing.T) {
+	enc := trainedEncoder(t)
+	words := []string{"profit", "profits", "dividend", "profit"}
+	wm, err := enc.WordMap("earn", words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	seen := map[string]bool{}
+	for u, ws := range wm {
+		if u < 0 || u >= enc.Category("earn").Map.Units() {
+			t.Errorf("unit %d out of range", u)
+		}
+		for i := 1; i < len(ws); i++ {
+			if ws[i-1] >= ws[i] {
+				t.Errorf("unit %d words unsorted: %v", u, ws)
+			}
+		}
+		for _, w := range ws {
+			if seen[w] {
+				t.Errorf("word %q on multiple units", w)
+			}
+			seen[w] = true
+			total++
+		}
+	}
+	// Duplicates collapse: 3 distinct words.
+	if total != 3 {
+		t.Errorf("projected %d words, want 3", total)
+	}
+}
+
+func TestWordMapUnknownCategory(t *testing.T) {
+	enc := trainedEncoder(t)
+	if _, err := enc.WordMap("bogus", []string{"x"}); err == nil {
+		t.Error("unknown category accepted")
+	}
+	if _, err := enc.RenderWordGrid("bogus", []string{"x"}, 0); err == nil {
+		t.Error("unknown category accepted by renderer")
+	}
+}
+
+func TestRenderWordGrid(t *testing.T) {
+	enc := trainedEncoder(t)
+	out, err := enc.RenderWordGrid("earn", []string{"profit", "dividend", "quarter"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "unit") || !strings.Contains(out, "profit") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	for _, line := range lines {
+		// maxWords 2: at most "unit NN (x,y):" + 2 words.
+		if got := len(strings.Fields(line)); got > 5 {
+			t.Errorf("line exceeds word cap: %q", line)
+		}
+	}
+}
+
+func TestWordMapSimilarWordsShareOrNeighbour(t *testing.T) {
+	enc := trainedEncoder(t)
+	wm, err := enc.WordMap("earn", []string{"profit", "profits"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the two units.
+	units := make([]int, 0, 2)
+	for u, ws := range wm {
+		for range ws {
+			units = append(units, u)
+		}
+	}
+	if len(units) != 2 {
+		t.Fatalf("units = %v", units)
+	}
+	ce := enc.Category("earn")
+	x1, y1 := ce.Map.Coords(units[0])
+	x2, y2 := ce.Map.Coords(units[1])
+	dx, dy := x1-x2, y1-y2
+	if dx*dx+dy*dy > 8 {
+		t.Errorf("morphologically similar words far apart: (%d,%d) vs (%d,%d)", x1, y1, x2, y2)
+	}
+}

@@ -1,0 +1,575 @@
+package lgp
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Config holds the GP parameters (paper Table 2 values are the
+// defaults from DefaultConfig).
+type Config struct {
+	// PopulationSize is the number of individuals (paper: 125).
+	PopulationSize int
+	// Tournaments is the number of steady-state tournaments (the paper's
+	// "Generations": 48000).
+	Tournaments int
+	// TournamentSize is the number of contestants per tournament
+	// (paper: 4; the best two overwrite the worst two).
+	TournamentSize int
+	// NumRegisters is the register-file size (paper: 8). R0 is the
+	// output register.
+	NumRegisters int
+	// NumInputs is the input-port count (2 for the paper's word codes).
+	NumInputs int
+	// MaxPageSize is the largest dynamic page size, a power of two.
+	MaxPageSize int
+	// MaxPages bounds program length: MaxPages*MaxPageSize instructions
+	// (paper node limit: 256).
+	MaxPages int
+	// PCrossover, PMutate, PSwap are the variation probabilities
+	// (paper: 0.9, 0.5, 0.9), applied additively.
+	PCrossover, PMutate, PSwap float64
+	// ConstantRatio, InternalRatio, ExternalRatio weight instruction-type
+	// generation (paper: 0, 4, 1).
+	ConstantRatio, InternalRatio, ExternalRatio float64
+	// PlateauWindow is the tournament window for plateau detection in the
+	// dynamic page-size schedule (paper: 10).
+	PlateauWindow int
+	// Recurrent selects RLGP (true, the paper's system) or the reset-
+	// per-pattern ablation.
+	Recurrent bool
+	// Fitness selects the objective: FitnessSSE (Equation 5, the paper's
+	// choice) or FitnessF1 (the IR-measure-based fitness the paper's
+	// conclusion proposes as future work).
+	Fitness FitnessKind
+	// DSS enables Dynamic Subset Selection when non-nil.
+	DSS *DSSConfig
+	// Seed drives all evolution randomness.
+	Seed int64
+}
+
+// FitnessKind selects the evolutionary objective.
+type FitnessKind string
+
+// Supported objectives.
+const (
+	// FitnessSSE is the paper's sum-squared-error objective
+	// (Equation 5). The empty string also selects it.
+	FitnessSSE FitnessKind = "sse"
+	// FitnessF1 minimises 1 - F1 of the sign classification over the
+	// evaluated examples — the paper's proposed future-work fitness
+	// ("fitness functions that can incorporate information retrieval
+	// measures (such as F1 measure)"). A small SSE term breaks ties so
+	// selection keeps a gradient inside equal-F1 plateaus.
+	FitnessF1 FitnessKind = "f1"
+)
+
+// DSSConfig parameterises Dynamic Subset Selection (section 7.3;
+// Gathercole & Ross style: selection pressure from example difficulty
+// and age).
+type DSSConfig struct {
+	// SubsetSize is the number of training examples per subset.
+	SubsetSize int
+	// Interval is the number of tournaments between subset reselections.
+	Interval int
+	// DifficultyExp and AgeExp shape the selection weights
+	// difficulty^DifficultyExp + age^AgeExp. Zero values default to 1.
+	DifficultyExp, AgeExp float64
+	// Stratify selects the subset per class (in-class and out-class
+	// drawn separately, in proportion to their training shares but with
+	// at least one example of each) — the category-aware DSS variant the
+	// paper's conclusion proposes as future work ("subset is selected
+	// based on the nature of a category instead of age and difficulty
+	// values" alone).
+	Stratify bool
+}
+
+// DefaultConfig returns the paper's Table 2 parameters.
+func DefaultConfig() Config {
+	return Config{
+		PopulationSize: 125,
+		Tournaments:    48000,
+		TournamentSize: 4,
+		NumRegisters:   8,
+		NumInputs:      2,
+		MaxPageSize:    8,
+		MaxPages:       32, // 32 pages × 8 instructions = node limit 256
+		PCrossover:     0.9,
+		PMutate:        0.5,
+		PSwap:          0.9,
+		ConstantRatio:  0,
+		InternalRatio:  4,
+		ExternalRatio:  1,
+		PlateauWindow:  10,
+		Recurrent:      true,
+		DSS: &DSSConfig{
+			SubsetSize: 50,
+			Interval:   100,
+		},
+	}
+}
+
+func (c *Config) validate() error {
+	if c.PopulationSize < 4 {
+		return fmt.Errorf("lgp: population %d < 4", c.PopulationSize)
+	}
+	if c.TournamentSize < 2 || c.TournamentSize > c.PopulationSize {
+		return fmt.Errorf("lgp: tournament size %d out of range", c.TournamentSize)
+	}
+	if c.NumRegisters < 1 || c.NumRegisters > 8 {
+		return fmt.Errorf("lgp: registers %d out of [1,8]", c.NumRegisters)
+	}
+	if c.NumInputs < 1 {
+		return fmt.Errorf("lgp: inputs %d < 1", c.NumInputs)
+	}
+	if c.MaxPageSize < 1 || c.MaxPageSize&(c.MaxPageSize-1) != 0 {
+		return fmt.Errorf("lgp: max page size %d not a power of two", c.MaxPageSize)
+	}
+	if c.MaxPages < 1 {
+		return fmt.Errorf("lgp: max pages %d < 1", c.MaxPages)
+	}
+	if c.Tournaments < 1 {
+		return fmt.Errorf("lgp: tournaments %d < 1", c.Tournaments)
+	}
+	if c.InternalRatio+c.ExternalRatio+c.ConstantRatio <= 0 {
+		return fmt.Errorf("lgp: instruction type ratios sum to zero")
+	}
+	switch c.Fitness {
+	case "", FitnessSSE, FitnessF1:
+	default:
+		return fmt.Errorf("lgp: unknown fitness kind %q", c.Fitness)
+	}
+	if c.DSS != nil {
+		if c.DSS.SubsetSize < 1 {
+			return fmt.Errorf("lgp: DSS subset size %d < 1", c.DSS.SubsetSize)
+		}
+		if c.DSS.Interval < 1 {
+			return fmt.Errorf("lgp: DSS interval %d < 1", c.DSS.Interval)
+		}
+	}
+	return nil
+}
+
+// Example is one training pattern sequence: the ordered input vectors of
+// a document's member words and the target label (+1 in-class, -1
+// out-class).
+type Example struct {
+	Inputs [][]float64
+	Label  float64
+}
+
+// Result is the outcome of a training run.
+type Result struct {
+	// Best is the best program by full-training-set fitness.
+	Best *Program
+	// Fitness is Best's sum-squared-error over the full training set
+	// (Equation 5).
+	Fitness float64
+	// BestHistory records the tournament-best fitness (on the active
+	// subset) at every tournament — used by the dynamic page-size
+	// schedule and useful for convergence plots.
+	BestHistory []float64
+	// PageSizeHistory records the dynamic page size after each
+	// tournament.
+	PageSizeHistory []int
+}
+
+// Trainer evolves programs against a training set.
+type Trainer struct {
+	cfg      Config
+	examples []Example
+	rng      *rand.Rand
+	pop      []*Program
+	machine  *Machine
+
+	// dynamic page size state
+	pageSize    int
+	windowSum   float64
+	windowCount int
+	prevWindow  float64
+	havePrev    bool
+
+	// DSS state
+	subset     []int
+	difficulty []float64
+	age        []float64
+}
+
+// NewTrainer validates the configuration and initialises the population
+// (uniform number of pages over [1, MaxPages], each page MaxPageSize
+// instructions).
+func NewTrainer(cfg Config, examples []Example) (*Trainer, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("lgp: no training examples")
+	}
+	for i, ex := range examples {
+		for j, in := range ex.Inputs {
+			if len(in) != cfg.NumInputs {
+				return nil, fmt.Errorf("lgp: example %d input %d has dim %d, want %d", i, j, len(in), cfg.NumInputs)
+			}
+		}
+	}
+	t := &Trainer{
+		cfg:      cfg,
+		examples: examples,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		machine:  NewMachine(cfg.NumRegisters),
+		pageSize: 1,
+	}
+	t.pop = make([]*Program, cfg.PopulationSize)
+	for i := range t.pop {
+		pages := 1 + t.rng.Intn(cfg.MaxPages)
+		code := make([]Instruction, pages*cfg.MaxPageSize)
+		for j := range code {
+			code[j] = randomInstruction(t.rng, &cfg)
+		}
+		t.pop[i] = &Program{Code: code}
+	}
+	if cfg.DSS != nil {
+		t.difficulty = make([]float64, len(examples))
+		t.age = make([]float64, len(examples))
+		t.selectSubset()
+	} else {
+		t.subset = make([]int, len(examples))
+		for i := range t.subset {
+			t.subset[i] = i
+		}
+	}
+	return t, nil
+}
+
+// predict runs one example through the machine under the configured
+// recurrence mode.
+func (t *Trainer) predict(p *Program, ex *Example) float64 {
+	if t.cfg.Recurrent {
+		return t.machine.RunSequence(p, ex.Inputs)
+	}
+	return t.machine.RunSequenceNonRecurrent(p, ex.Inputs)
+}
+
+// fitnessOn computes the configured objective of p over the example
+// indices. Lower is better. FitnessSSE is Equation 5; FitnessF1 is
+// (1-F1)·n plus a small SSE tie-breaker.
+func (t *Trainer) fitnessOn(p *Program, idxs []int) float64 {
+	var sse float64
+	var tp, fp, fn int
+	for _, i := range idxs {
+		out := t.predict(p, &t.examples[i])
+		diff := t.examples[i].Label - out
+		sse += diff * diff
+		if t.cfg.Fitness == FitnessF1 {
+			predicted := out > 0
+			actual := t.examples[i].Label > 0
+			switch {
+			case actual && predicted:
+				tp++
+			case actual && !predicted:
+				fn++
+			case !actual && predicted:
+				fp++
+			}
+		}
+	}
+	if t.cfg.Fitness != FitnessF1 {
+		return sse
+	}
+	f1 := 0.0
+	if den := 2*tp + fp + fn; den > 0 {
+		f1 = 2 * float64(tp) / float64(den)
+	}
+	return (1-f1)*float64(len(idxs)) + 0.001*sse
+}
+
+// FullFitness computes Equation 5 over the entire training set.
+func (t *Trainer) FullFitness(p *Program) float64 {
+	idxs := make([]int, len(t.examples))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	return t.fitnessOn(p, idxs)
+}
+
+// selectSubset draws a new DSS subset by roulette over
+// difficulty^d + age^a weights, without replacement. With Stratify set,
+// in-class and out-class examples are drawn separately in proportion to
+// their training shares (at least one each). Selected examples have
+// their age reset; all others age by one.
+func (t *Trainer) selectSubset() {
+	dss := t.cfg.DSS
+	n := len(t.examples)
+	size := dss.SubsetSize
+	if size > n {
+		size = n
+	}
+	dExp, aExp := dss.DifficultyExp, dss.AgeExp
+	if dExp == 0 {
+		dExp = 1
+	}
+	if aExp == 0 {
+		aExp = 1
+	}
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = powf(t.difficulty[i], dExp) + powf(t.age[i], aExp) + 1
+	}
+
+	chosen := make(map[int]bool, size)
+	t.subset = t.subset[:0]
+	if dss.Stratify {
+		var pos, neg []int
+		for i := range t.examples {
+			if t.examples[i].Label > 0 {
+				pos = append(pos, i)
+			} else {
+				neg = append(neg, i)
+			}
+		}
+		posQuota := size * len(pos) / n
+		if posQuota < 1 && len(pos) > 0 {
+			posQuota = 1
+		}
+		if posQuota > len(pos) {
+			posQuota = len(pos)
+		}
+		negQuota := size - posQuota
+		if negQuota > len(neg) {
+			negQuota = len(neg)
+		}
+		t.drawFrom(pos, posQuota, weights, chosen)
+		t.drawFrom(neg, negQuota, weights, chosen)
+	} else {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		t.drawFrom(all, size, weights, chosen)
+	}
+	for i := range t.age {
+		if chosen[i] {
+			t.age[i] = 0
+		} else {
+			t.age[i]++
+		}
+	}
+}
+
+// drawFrom roulette-selects count distinct indices from pool into the
+// subset, weighted by weights.
+func (t *Trainer) drawFrom(pool []int, count int, weights []float64, chosen map[int]bool) {
+	var total float64
+	for _, i := range pool {
+		total += weights[i]
+	}
+	for k := 0; k < count; k++ {
+		x := t.rng.Float64() * total
+		idx := -1
+		for _, i := range pool {
+			if chosen[i] {
+				continue
+			}
+			if x < weights[i] {
+				idx = i
+				break
+			}
+			x -= weights[i]
+		}
+		if idx < 0 { // numerical fallthrough: take first unchosen
+			for _, i := range pool {
+				if !chosen[i] {
+					idx = i
+					break
+				}
+			}
+		}
+		if idx < 0 {
+			return // pool exhausted
+		}
+		chosen[idx] = true
+		total -= weights[idx]
+		t.subset = append(t.subset, idx)
+	}
+}
+
+func powf(base, exp float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	if exp == 1 {
+		return base
+	}
+	// Small integer exponents dominate in practice.
+	switch exp {
+	case 2:
+		return base * base
+	case 3:
+		return base * base * base
+	}
+	out := 1.0
+	for i := 0; i < int(exp); i++ {
+		out *= base
+	}
+	return out
+}
+
+// updateDifficulty bumps the difficulty of subset examples the
+// tournament winner misclassified and decays the rest.
+func (t *Trainer) updateDifficulty(winner *Program) {
+	if t.cfg.DSS == nil {
+		return
+	}
+	for _, i := range t.subset {
+		out := t.predict(winner, &t.examples[i])
+		if out*t.examples[i].Label <= 0 {
+			t.difficulty[i]++
+		} else if t.difficulty[i] > 0 {
+			t.difficulty[i]--
+		}
+	}
+}
+
+// Run executes the configured number of steady-state tournaments and
+// returns the best individual by full-training-set fitness.
+func (t *Trainer) Run() *Result {
+	res := &Result{
+		BestHistory:     make([]float64, 0, t.cfg.Tournaments),
+		PageSizeHistory: make([]int, 0, t.cfg.Tournaments),
+	}
+	for tour := 0; tour < t.cfg.Tournaments; tour++ {
+		if t.cfg.DSS != nil && tour > 0 && tour%t.cfg.DSS.Interval == 0 {
+			t.selectSubset()
+		}
+		best := t.tournament()
+		res.BestHistory = append(res.BestHistory, best)
+		t.trackPlateau(best)
+		res.PageSizeHistory = append(res.PageSizeHistory, t.pageSize)
+	}
+	// Final model selection over the population on the full training set.
+	bestIdx, bestFit := 0, t.FullFitness(t.pop[0])
+	for i := 1; i < len(t.pop); i++ {
+		if f := t.FullFitness(t.pop[i]); f < bestFit {
+			bestIdx, bestFit = i, f
+		}
+	}
+	res.Best = t.pop[bestIdx].Clone()
+	res.Fitness = bestFit
+	return res
+}
+
+// tournament runs one steady-state tournament of TournamentSize
+// contestants: the two fittest reproduce, their children (after
+// variation) overwrite the two least fit, and the tournament-best
+// fitness is returned.
+func (t *Trainer) tournament() float64 {
+	k := t.cfg.TournamentSize
+	idxs := make([]int, 0, k)
+	seen := make(map[int]bool, k)
+	for len(idxs) < k {
+		i := t.rng.Intn(len(t.pop))
+		if !seen[i] {
+			seen[i] = true
+			idxs = append(idxs, i)
+		}
+	}
+	type contestant struct {
+		popIdx int
+		fit    float64
+	}
+	cs := make([]contestant, k)
+	for i, pi := range idxs {
+		cs[i] = contestant{pi, t.fitnessOn(t.pop[pi], t.subset)}
+	}
+	// Sort ascending by fitness (lower SSE is better).
+	for i := 1; i < k; i++ {
+		for j := i; j > 0 && cs[j].fit < cs[j-1].fit; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+	child1 := t.pop[cs[0].popIdx].Clone()
+	child2 := t.pop[cs[1].popIdx].Clone()
+	t.vary(child1, child2)
+	t.pop[cs[k-1].popIdx] = child1
+	t.pop[cs[k-2].popIdx] = child2
+	t.updateDifficulty(t.pop[cs[0].popIdx])
+	return cs[0].fit
+}
+
+// vary applies the three variation operators additively (each with its
+// own probability, possibly all three) to the two children.
+func (t *Trainer) vary(a, b *Program) {
+	if t.rng.Float64() < t.cfg.PCrossover {
+		t.crossover(a, b)
+	}
+	if t.rng.Float64() < t.cfg.PMutate {
+		t.mutate(a)
+	}
+	if t.rng.Float64() < t.cfg.PMutate {
+		t.mutate(b)
+	}
+	if t.rng.Float64() < t.cfg.PSwap {
+		t.swap(a)
+	}
+	if t.rng.Float64() < t.cfg.PSwap {
+		t.swap(b)
+	}
+}
+
+// crossover exchanges one page of the current dynamic page size between
+// the two programs. Pages need not be aligned across parents but always
+// hold the same number of instructions, so lengths are preserved.
+func (t *Trainer) crossover(a, b *Program) {
+	ps := t.pageSize
+	na, nb := len(a.Code)/ps, len(b.Code)/ps
+	if na == 0 || nb == 0 {
+		return
+	}
+	pa, pb := t.rng.Intn(na)*ps, t.rng.Intn(nb)*ps
+	for i := 0; i < ps; i++ {
+		a.Code[pa+i], b.Code[pb+i] = b.Code[pb+i], a.Code[pa+i]
+	}
+}
+
+// mutate XORs one instruction with a freshly generated instruction (the
+// paper's 'Mutation' operator).
+func (t *Trainer) mutate(p *Program) {
+	i := t.rng.Intn(len(p.Code))
+	p.Code[i] ^= randomInstruction(t.rng, &t.cfg)
+}
+
+// swap interchanges two uniformly chosen instructions within the same
+// individual (the paper's 'Swap' operator: right instruction mix, wrong
+// order).
+func (t *Trainer) swap(p *Program) {
+	i, j := t.rng.Intn(len(p.Code)), t.rng.Intn(len(p.Code))
+	p.Code[i], p.Code[j] = p.Code[j], p.Code[i]
+}
+
+// trackPlateau implements the dynamic page-size schedule: tournament-best
+// fitnesses are summed over consecutive non-overlapping windows of
+// PlateauWindow tournaments; equal sums in adjacent windows define a
+// plateau, which doubles the page size (wrapping to 1 past MaxPageSize).
+func (t *Trainer) trackPlateau(best float64) {
+	t.windowSum += best
+	t.windowCount++
+	if t.windowCount < t.cfg.PlateauWindow {
+		return
+	}
+	if t.havePrev && t.windowSum == t.prevWindow {
+		t.pageSize *= 2
+		if t.pageSize > t.cfg.MaxPageSize {
+			t.pageSize = 1
+		}
+	}
+	t.prevWindow = t.windowSum
+	t.havePrev = true
+	t.windowSum = 0
+	t.windowCount = 0
+}
+
+// PageSize exposes the current dynamic page size (for tests).
+func (t *Trainer) PageSize() int { return t.pageSize }
+
+// Subset exposes the active DSS subset indices (for tests).
+func (t *Trainer) Subset() []int { return append([]int(nil), t.subset...) }

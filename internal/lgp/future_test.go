@@ -1,0 +1,155 @@
+package lgp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Tests for the paper's future-work features: the F1-based fitness and
+// the category-aware (stratified) DSS variant.
+
+func TestFitnessKindValidation(t *testing.T) {
+	cfg := testCfg()
+	cfg.Fitness = "bogus"
+	ex := []Example{{Inputs: [][]float64{{0, 0}}, Label: 1}}
+	if _, err := NewTrainer(cfg, ex); err == nil {
+		t.Error("unknown fitness kind accepted")
+	}
+	for _, kind := range []FitnessKind{"", FitnessSSE, FitnessF1} {
+		cfg.Fitness = kind
+		if _, err := NewTrainer(cfg, ex); err != nil {
+			t.Errorf("fitness %q rejected: %v", kind, err)
+		}
+	}
+}
+
+func TestF1FitnessValues(t *testing.T) {
+	cfg := testCfg()
+	cfg.Fitness = FitnessF1
+	// One positive, one negative example; a program accumulating I0
+	// classifies both correctly.
+	ex := []Example{
+		{Inputs: [][]float64{{1, 0}}, Label: 1},
+		{Inputs: [][]float64{{-1, 0}}, Label: -1},
+	}
+	tr, err := NewTrainer(cfg, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfect := &Program{Code: []Instruction{pack(ModeExternal, OpAdd, 0, 0)}}
+	inverse := &Program{Code: []Instruction{pack(ModeExternal, OpSub, 0, 0)}}
+	fp := tr.fitnessOn(perfect, []int{0, 1})
+	fi := tr.fitnessOn(inverse, []int{0, 1})
+	if fp >= fi {
+		t.Errorf("perfect classifier fitness %v not below inverse %v", fp, fi)
+	}
+	// Perfect F1 leaves only the small SSE tie-breaker.
+	if fp > 0.2 {
+		t.Errorf("perfect classifier F1 fitness = %v, want near 0", fp)
+	}
+}
+
+func TestF1FitnessEvolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	examples := accumulationExamples(rng, 12)
+	cfg := testCfg()
+	cfg.Fitness = FitnessF1
+	tr, err := NewTrainer(cfg, examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tr.Run()
+	m := NewMachine(cfg.NumRegisters)
+	correct := 0
+	for _, ex := range examples {
+		if m.RunSequence(res.Best, ex.Inputs)*ex.Label > 0 {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(len(examples)); frac < 0.75 {
+		t.Errorf("F1-fitness evolution accuracy %v", frac)
+	}
+}
+
+func TestStratifiedDSSKeepsClassBalance(t *testing.T) {
+	// 10 positive, 30 negative examples; quota should track shares and
+	// always include positives.
+	var ex []Example
+	for i := 0; i < 10; i++ {
+		ex = append(ex, Example{Inputs: [][]float64{{1, 0}}, Label: 1})
+	}
+	for i := 0; i < 30; i++ {
+		ex = append(ex, Example{Inputs: [][]float64{{-1, 0}}, Label: -1})
+	}
+	cfg := testCfg()
+	cfg.DSS = &DSSConfig{SubsetSize: 8, Interval: 5, Stratify: true}
+	tr, err := NewTrainer(cfg, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		tr.selectSubset()
+		pos, neg := 0, 0
+		seen := map[int]bool{}
+		for _, i := range tr.Subset() {
+			if seen[i] {
+				t.Fatal("duplicate index in stratified subset")
+			}
+			seen[i] = true
+			if ex[i].Label > 0 {
+				pos++
+			} else {
+				neg++
+			}
+		}
+		if pos+neg != 8 {
+			t.Fatalf("subset size %d", pos+neg)
+		}
+		// Expected quota: 8 * 10/40 = 2 positives.
+		if pos != 2 {
+			t.Errorf("trial %d: %d positives, want 2", trial, pos)
+		}
+	}
+}
+
+func TestStratifiedDSSRareClassAlwaysRepresented(t *testing.T) {
+	var ex []Example
+	ex = append(ex, Example{Inputs: [][]float64{{1, 0}}, Label: 1}) // single positive
+	for i := 0; i < 50; i++ {
+		ex = append(ex, Example{Inputs: [][]float64{{-1, 0}}, Label: -1})
+	}
+	cfg := testCfg()
+	cfg.DSS = &DSSConfig{SubsetSize: 10, Interval: 5, Stratify: true}
+	tr, err := NewTrainer(cfg, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		tr.selectSubset()
+		found := false
+		for _, i := range tr.Subset() {
+			if ex[i].Label > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("trial %d: positive example missing from stratified subset", trial)
+		}
+	}
+}
+
+func TestStratifiedDSSSubsetLargerThanData(t *testing.T) {
+	ex := []Example{
+		{Inputs: [][]float64{{1, 0}}, Label: 1},
+		{Inputs: [][]float64{{-1, 0}}, Label: -1},
+	}
+	cfg := testCfg()
+	cfg.DSS = &DSSConfig{SubsetSize: 100, Interval: 5, Stratify: true}
+	tr, err := NewTrainer(cfg, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Subset()); got != 2 {
+		t.Errorf("subset size %d, want 2", got)
+	}
+}

@@ -1,0 +1,53 @@
+package lgp
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseProgram checks the rule parser never panics and that every
+// accepted program executes with finite outputs.
+func FuzzParseProgram(f *testing.F) {
+	f.Add("R0=R0+I1")
+	f.Add("R1=R1-I1; R0=R0*I1; R1=R1/I0")
+	f.Add("R2=R2+0.43; R0=R0--1.00")
+	f.Add("garbage ;; R0=R0")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParseProgram(src, 8, 2)
+		if err != nil {
+			return
+		}
+		m := NewMachine(8)
+		out := m.RunSequence(p, [][]float64{{0.5, -0.5}, {1, 1}})
+		if math.IsNaN(out) || out < -1 || out > 1 {
+			t.Fatalf("accepted program %q produced %v", src, out)
+		}
+	})
+}
+
+// FuzzMachineStep checks that arbitrary instruction words execute with
+// finite register state (syntactic closure end-to-end).
+func FuzzMachineStep(f *testing.F) {
+	f.Add(uint32(0), 0.5, 0.5)
+	f.Add(^uint32(0), -1.0, 1e6)
+	f.Add(uint32(1<<13|3<<11), 0.0, 0.0) // external divide
+	f.Fuzz(func(t *testing.T, raw uint32, in0, in1 float64) {
+		if math.IsNaN(in0) || math.IsNaN(in1) || math.IsInf(in0, 0) || math.IsInf(in1, 0) {
+			return
+		}
+		m := NewMachine(8)
+		p := &Program{Code: []Instruction{Instruction(raw)}}
+		for i := 0; i < 5; i++ {
+			m.Step(p, []float64{in0, in1})
+		}
+		for _, r := range m.Registers() {
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				t.Fatalf("instruction %#x produced register %v", raw, r)
+			}
+			if r > regClamp || r < -regClamp {
+				t.Fatalf("instruction %#x escaped the clamp: %v", raw, r)
+			}
+		}
+	})
+}

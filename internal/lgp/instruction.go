@@ -1,0 +1,150 @@
+// Package lgp implements the page-based Linear Genetic Programming
+// system of the paper (section 7): fixed-length individuals organised in
+// pages, steady-state tournament selection, the three variation operators
+// (page crossover, instruction XOR mutation, instruction swap), the
+// dynamic page-size schedule driven by fitness plateaus, Dynamic Subset
+// Selection (DSS) over the training set, and the recurrent execution mode
+// (RLGP) in which register state persists across the word sequence of a
+// document.
+package lgp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Instruction is a 2-address register-transfer instruction packed into a
+// uint32:
+//
+//	bits 13..14  mode   (0 internal: Rd = Rd op Rs,
+//	                     1 external: Rd = Rd op I[src],
+//	                     2 constant: Rd = Rd op c(src))
+//	bits 11..12  opcode (+, -, ×, ÷)
+//	bits  8..10  destination register
+//	bits  0..7   source field (register / input port / constant code)
+//
+// All field decodes are defensive (modular), so any uint32 — including
+// the result of XOR mutation — is a valid instruction (syntactic
+// closure).
+type Instruction uint32
+
+// Instruction modes.
+const (
+	ModeInternal = 0 // operate on a register
+	ModeExternal = 1 // read an input port
+	ModeConstant = 2 // use an embedded constant
+)
+
+// Opcodes: the paper's functional set {+, -, ×, ÷}.
+const (
+	OpAdd = 0
+	OpSub = 1
+	OpMul = 2
+	OpDiv = 3
+)
+
+// Mode returns the decoded instruction type.
+func (in Instruction) Mode() int { return int(in>>13&3) % 3 }
+
+// Opcode returns the decoded operation.
+func (in Instruction) Opcode() int { return int(in >> 11 & 3) }
+
+// Dst returns the destination register index, reduced modulo nRegs.
+func (in Instruction) Dst(nRegs int) int { return int(in>>8&7) % nRegs }
+
+// SrcReg returns the source register index, reduced modulo nRegs.
+func (in Instruction) SrcReg(nRegs int) int { return int(in&0xff) % nRegs }
+
+// SrcInput returns the input port index, reduced modulo nInputs.
+func (in Instruction) SrcInput(nInputs int) int { return int(in&0xff) % nInputs }
+
+// Const returns the embedded constant, mapped from the 8-bit source field
+// onto [-1, 1].
+func (in Instruction) Const() float64 { return float64(in&0xff)/255*2 - 1 }
+
+// pack builds an instruction from fields.
+func pack(mode, opcode, dst, src int) Instruction {
+	return Instruction(mode&3)<<13 | Instruction(opcode&3)<<11 |
+		Instruction(dst&7)<<8 | Instruction(src&0xff)
+}
+
+var opNames = [4]string{"+", "-", "*", "/"}
+
+// Disassemble renders the instruction in the paper's notation, e.g.
+// "R1=R1-I1" or "R0=R0*R3" or "R2=R2+0.43".
+func (in Instruction) Disassemble(nRegs, nInputs int) string {
+	d := in.Dst(nRegs)
+	op := opNames[in.Opcode()]
+	switch in.Mode() {
+	case ModeExternal:
+		return fmt.Sprintf("R%d=R%d%sI%d", d, d, op, in.SrcInput(nInputs))
+	case ModeConstant:
+		return fmt.Sprintf("R%d=R%d%s%.2f", d, d, op, in.Const())
+	default:
+		return fmt.Sprintf("R%d=R%d%sR%d", d, d, op, in.SrcReg(nRegs))
+	}
+}
+
+// Program is a fixed-length linear program: a whole number of pages of
+// instructions. Length never changes after initialisation (crossover
+// exchanges equal-size pages).
+type Program struct {
+	Code []Instruction
+}
+
+// Clone returns a deep copy.
+func (p *Program) Clone() *Program {
+	return &Program{Code: append([]Instruction(nil), p.Code...)}
+}
+
+// Disassemble renders the whole program in the paper's "R1=R1-I1; ..."
+// style.
+func (p *Program) Disassemble(nRegs, nInputs int) string {
+	parts := make([]string, len(p.Code))
+	for i, in := range p.Code {
+		parts[i] = in.Disassemble(nRegs, nInputs)
+	}
+	return strings.Join(parts, "; ")
+}
+
+// EffectiveLength returns the number of instructions that can influence
+// the output register (register 0) — a structural intron count obtained
+// by backward dependency sweep. Useful as a complexity diagnostic.
+func (p *Program) EffectiveLength(nRegs int) int {
+	needed := make([]bool, nRegs)
+	needed[0] = true
+	count := 0
+	for i := len(p.Code) - 1; i >= 0; i-- {
+		in := p.Code[i]
+		d := in.Dst(nRegs)
+		if !needed[d] {
+			continue
+		}
+		count++
+		// Rd = Rd op Src: Rd remains needed (2-address), source register
+		// becomes needed.
+		if in.Mode() == ModeInternal {
+			needed[in.SrcReg(nRegs)] = true
+		}
+	}
+	return count
+}
+
+// randomInstruction draws an instruction with the configured type ratios
+// (the paper's roulette over Constant/Internal/External proportions),
+// then fills the remaining fields uniformly.
+func randomInstruction(rng *rand.Rand, cfg *Config) Instruction {
+	total := cfg.ConstantRatio + cfg.InternalRatio + cfg.ExternalRatio
+	r := rng.Float64() * total
+	mode := ModeInternal
+	switch {
+	case r < cfg.ConstantRatio:
+		mode = ModeConstant
+	case r < cfg.ConstantRatio+cfg.InternalRatio:
+		mode = ModeInternal
+	default:
+		mode = ModeExternal
+	}
+	return pack(mode, rng.Intn(4), rng.Intn(8), rng.Intn(256))
+}

@@ -1,0 +1,121 @@
+package lgp
+
+import "math"
+
+// regClamp bounds register magnitudes so that runaway multiply chains
+// cannot overflow to ±Inf during evolution.
+const regClamp = 1e6
+
+// Machine executes linear programs over a general-purpose register file.
+// In recurrent mode (the R of RLGP) registers persist across sequential
+// pattern presentations and are only reset between documents.
+type Machine struct {
+	regs []float64
+}
+
+// NewMachine returns a machine with n general-purpose registers.
+func NewMachine(n int) *Machine {
+	return &Machine{regs: make([]float64, n)}
+}
+
+// Reset zeroes every register (called at document boundaries).
+func (m *Machine) Reset() {
+	for i := range m.regs {
+		m.regs[i] = 0
+	}
+}
+
+// Registers exposes the register file (aliased, for inspection).
+func (m *Machine) Registers() []float64 { return m.regs }
+
+// Output returns the predefined output register R0.
+func (m *Machine) Output() float64 { return m.regs[0] }
+
+// Step executes the whole program once against one input vector,
+// mutating the register file. Division is protected: a near-zero
+// denominator leaves the destination unchanged. Register values are
+// clamped to ±1e6 and NaN is flushed to zero, keeping evolution numerics
+// finite.
+func (m *Machine) Step(p *Program, inputs []float64) {
+	nRegs := len(m.regs)
+	nIn := len(inputs)
+	for _, in := range p.Code {
+		d := in.Dst(nRegs)
+		var operand float64
+		switch in.Mode() {
+		case ModeExternal:
+			if nIn > 0 {
+				operand = inputs[in.SrcInput(nIn)]
+			}
+		case ModeConstant:
+			operand = in.Const()
+		default:
+			operand = m.regs[in.SrcReg(nRegs)]
+		}
+		v := m.regs[d]
+		switch in.Opcode() {
+		case OpAdd:
+			v += operand
+		case OpSub:
+			v -= operand
+		case OpMul:
+			v *= operand
+		case OpDiv:
+			if math.Abs(operand) > 1e-9 {
+				v /= operand
+			}
+		}
+		if math.IsNaN(v) {
+			v = 0
+		} else if v > regClamp {
+			v = regClamp
+		} else if v < -regClamp {
+			v = -regClamp
+		}
+		m.regs[d] = v
+	}
+}
+
+// Squash maps the raw output register onto [-1, 1] (Equation 4):
+//
+//	GPoutNew = 2/(1+e^-GPout) - 1
+func Squash(out float64) float64 {
+	return 2/(1+math.Exp(-out)) - 1
+}
+
+// RunSequence resets the machine, presents each input vector of the
+// sequence in order (recurrent mode: registers persist between steps)
+// and returns the squashed output after the last step. An empty sequence
+// yields Squash(0) = 0.
+func (m *Machine) RunSequence(p *Program, seq [][]float64) float64 {
+	m.Reset()
+	for _, in := range seq {
+		m.Step(p, in)
+	}
+	return Squash(m.Output())
+}
+
+// RunSequenceNonRecurrent is the ablation variant: registers are reset
+// before every pattern, discarding temporal state. The prediction is the
+// squashed output after the final pattern.
+func (m *Machine) RunSequenceNonRecurrent(p *Program, seq [][]float64) float64 {
+	m.Reset()
+	for _, in := range seq {
+		m.Reset()
+		m.Step(p, in)
+	}
+	return Squash(m.Output())
+}
+
+// Trace resets the machine and returns the squashed output register
+// value after each input of the sequence — the word-tracking signal of
+// Figures 5 and 6.
+func (m *Machine) Trace(p *Program, seq [][]float64) []float64 {
+	m.Reset()
+	out := make([]float64, len(seq))
+	for i, in := range seq {
+		m.Step(p, in)
+		out[i] = Squash(m.Output())
+	}
+	return out
+}

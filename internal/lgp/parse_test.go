@@ -1,0 +1,126 @@
+package lgp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestParsePaperRuleExample(t *testing.T) {
+	// The exact rule printed in the paper's section 8.1 for 'Earn'.
+	text := "R1=R1-I1; R0=R0*I1; R1=R1-I1; R0=R0+I1; R1=R1-I1; R0=R0-R1; " +
+		"R0=R0-I0; R1=R1-I1; R0=R0-R1; R0=R0-R1; R0=R0-I0; R0=R0/I1; " +
+		"R0=R0-I0; R0=R0+I1; R1=R1/I1"
+	p, err := ParseProgram(text, 8, 2)
+	if err != nil {
+		t.Fatalf("ParseProgram: %v", err)
+	}
+	if len(p.Code) != 15 {
+		t.Fatalf("parsed %d instructions, want 15", len(p.Code))
+	}
+	// Disassembly must round-trip exactly (the paper's notation uses *
+	// and / where the text shows × and ÷).
+	if got := p.Disassemble(8, 2); got != text {
+		t.Errorf("round trip:\n got %q\nwant %q", got, text)
+	}
+	// The parsed rule must execute.
+	m := NewMachine(8)
+	out := m.RunSequence(p, [][]float64{{0.5, 0.9}, {0.2, 0.7}})
+	if math.IsNaN(out) || out < -1 || out > 1 {
+		t.Errorf("execution output %v", out)
+	}
+}
+
+func TestParseDisassembleRoundTripRandomPrograms(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ConstantRatio = 1 // include constants in the round trip
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		code := make([]Instruction, 1+rng.Intn(40))
+		for i := range code {
+			code[i] = randomInstruction(rng, &cfg)
+		}
+		orig := &Program{Code: code}
+		text := orig.Disassemble(8, 2)
+		parsed, err := ParseProgram(text, 8, 2)
+		if err != nil {
+			t.Fatalf("trial %d: %v (text %q)", trial, err, text)
+		}
+		// Constant quantisation converges after one parse: from the
+		// first parsed program onward, the round trip must be a fixed
+		// point.
+		text2 := parsed.Disassemble(8, 2)
+		parsed2, err := ParseProgram(text2, 8, 2)
+		if err != nil {
+			t.Fatalf("trial %d: reparse: %v (text %q)", trial, err, text2)
+		}
+		if got := parsed2.Disassemble(8, 2); got != text2 {
+			t.Fatalf("trial %d: round trip not idempotent\n got %q\nwant %q", trial, got, text2)
+		}
+		// Behaviour must match: same outputs on random sequences.
+		m1, m2 := NewMachine(8), NewMachine(8)
+		seq := [][]float64{
+			{rng.Float64(), rng.Float64()},
+			{rng.Float64()*2 - 1, rng.Float64()},
+		}
+		a, b := m1.RunSequence(orig, seq), m2.RunSequence(parsed, seq)
+		// Constants are quantised to 2 decimal places in disassembly, so
+		// allow a small behavioural tolerance.
+		if math.Abs(a-b) > 0.2 {
+			t.Fatalf("trial %d: behaviour diverged: %v vs %v", trial, a, b)
+		}
+	}
+}
+
+func TestParseProgramWhitespaceTolerant(t *testing.T) {
+	p, err := ParseProgram("  R0 = R0 + I1 ;\n R1=R1*R2 ; ", 8, 2)
+	if err != nil {
+		t.Fatalf("ParseProgram: %v", err)
+	}
+	if len(p.Code) != 2 {
+		t.Errorf("parsed %d instructions", len(p.Code))
+	}
+}
+
+func TestParseProgramConstants(t *testing.T) {
+	p, err := ParseProgram("R0=R0+0.50", 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := p.Code[0]
+	if in.Mode() != ModeConstant {
+		t.Fatalf("mode = %d", in.Mode())
+	}
+	if c := in.Const(); math.Abs(c-0.5) > 1.0/255 {
+		t.Errorf("constant %v, want ~0.5", c)
+	}
+	if _, err := ParseProgram("R0=R0+-0.25", 8, 2); err != nil {
+		t.Errorf("negative constant rejected: %v", err)
+	}
+}
+
+func TestParseProgramErrors(t *testing.T) {
+	cases := []string{
+		"",
+		";;;",
+		"R0+R1",
+		"R0=R1+R2",  // not 2-address
+		"R9=R9+I0",  // register out of range
+		"R0=R0+I7",  // input out of range
+		"R0=R0+5.0", // constant out of [-1,1]
+		"R0=R0?I1",  // bad operator
+		"R0=R0+",    // missing operand
+		"X0=X0+I1",  // not a register
+	}
+	for _, text := range cases {
+		if _, err := ParseProgram(text, 8, 2); err == nil {
+			t.Errorf("accepted %q", text)
+		}
+	}
+	if _, err := ParseProgram("R0=R0+I0", 0, 2); err == nil {
+		t.Error("accepted zero registers")
+	}
+	if _, err := ParseProgram("R0=R0+I0", 8, 0); err == nil {
+		t.Error("accepted zero inputs")
+	}
+}

@@ -1,0 +1,91 @@
+package lgp
+
+// Simplify returns a copy of the program with structural introns
+// removed: instructions that cannot influence the output register R0 at
+// the end of execution (dead destination registers) are dropped by a
+// backward dependency sweep. The simplified program computes the same
+// R0 trajectory in both recurrent and feed-forward modes when run from
+// a reset register file once per document — for recurrent use across
+// MULTIPLE steps, registers written late can feed R0 on the next pass,
+// so the sweep treats every register read anywhere in the program as
+// live at the top (conservative recurrent closure).
+//
+// The paper notes evolved rules "can be easily stored in a database or
+// embedded in programs"; Simplify makes the stored rule minimal.
+func (p *Program) Simplify(nRegs int, recurrent bool) *Program {
+	if len(p.Code) == 0 {
+		return p.Clone()
+	}
+	needed := make([]bool, nRegs)
+	needed[0] = true
+	if recurrent {
+		// In recurrent mode the program body re-executes with carried
+		// register state: any register that some kept instruction reads
+		// is live across iterations. Iterate to a fixed point.
+		keep := p.markLive(nRegs, needed)
+		for {
+			liveReads := make([]bool, nRegs)
+			liveReads[0] = true
+			for i, k := range keep {
+				if !k {
+					continue
+				}
+				in := p.Code[i]
+				liveReads[in.Dst(nRegs)] = true
+				if in.Mode() == ModeInternal {
+					liveReads[in.SrcReg(nRegs)] = true
+				}
+			}
+			next := p.markLive(nRegs, liveReads)
+			if equalBools(next, keep) {
+				break
+			}
+			keep = next
+		}
+		return p.filter(keep)
+	}
+	return p.filter(p.markLive(nRegs, needed))
+}
+
+// markLive runs the backward sweep with the given initially-needed
+// registers and returns the keep mask.
+func (p *Program) markLive(nRegs int, neededAtEnd []bool) []bool {
+	needed := append([]bool(nil), neededAtEnd...)
+	keep := make([]bool, len(p.Code))
+	for i := len(p.Code) - 1; i >= 0; i-- {
+		in := p.Code[i]
+		d := in.Dst(nRegs)
+		if !needed[d] {
+			continue
+		}
+		keep[i] = true
+		// 2-address form Rd = Rd op Src: Rd stays needed; an internal
+		// source register becomes needed.
+		if in.Mode() == ModeInternal {
+			needed[in.SrcReg(nRegs)] = true
+		}
+	}
+	return keep
+}
+
+func (p *Program) filter(keep []bool) *Program {
+	out := &Program{Code: make([]Instruction, 0, len(p.Code))}
+	for i, k := range keep {
+		if k {
+			out.Code = append(out.Code, p.Code[i])
+		}
+	}
+	return out
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

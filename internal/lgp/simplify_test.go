@@ -1,0 +1,110 @@
+package lgp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSimplifyDropsDeadCode(t *testing.T) {
+	p := &Program{Code: []Instruction{
+		pack(ModeExternal, OpAdd, 3, 0), // dead: R3 never feeds R0
+		pack(ModeExternal, OpAdd, 1, 0), // feeds R1
+		pack(ModeInternal, OpAdd, 0, 1), // R0 += R1
+	}}
+	s := p.Simplify(8, false)
+	if len(s.Code) != 2 {
+		t.Fatalf("simplified to %d instructions, want 2: %s",
+			len(s.Code), s.Disassemble(8, 2))
+	}
+}
+
+func TestSimplifyEmptyAndAllDead(t *testing.T) {
+	empty := &Program{}
+	if got := empty.Simplify(8, false); len(got.Code) != 0 {
+		t.Errorf("empty program simplified to %d instructions", len(got.Code))
+	}
+	dead := &Program{Code: []Instruction{
+		pack(ModeExternal, OpAdd, 5, 0),
+		pack(ModeExternal, OpMul, 6, 1),
+	}}
+	if got := dead.Simplify(8, false); len(got.Code) != 0 {
+		t.Errorf("fully dead program kept %d instructions", len(got.Code))
+	}
+}
+
+// Non-recurrent equivalence: simplified and original programs produce
+// identical outputs on single-pass execution.
+func TestSimplifyPreservesSinglePassBehaviour(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		code := make([]Instruction, 1+rng.Intn(60))
+		for i := range code {
+			code[i] = randomInstruction(rng, &cfg)
+		}
+		p := &Program{Code: code}
+		s := p.Simplify(8, false)
+		in := []float64{rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+		m1, m2 := NewMachine(8), NewMachine(8)
+		m1.Step(p, in)
+		m2.Step(s, in)
+		if math.Abs(m1.Output()-m2.Output()) > 1e-12 {
+			t.Fatalf("trial %d: outputs diverge: %v vs %v\norig: %s\nsimp: %s",
+				trial, m1.Output(), m2.Output(),
+				p.Disassemble(8, 2), s.Disassemble(8, 2))
+		}
+	}
+}
+
+// Recurrent equivalence: with the conservative recurrent closure, the
+// simplified program must reproduce the full output trajectory across
+// multi-step sequences.
+func TestSimplifyPreservesRecurrentBehaviour(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 100; trial++ {
+		code := make([]Instruction, 1+rng.Intn(60))
+		for i := range code {
+			code[i] = randomInstruction(rng, &cfg)
+		}
+		p := &Program{Code: code}
+		s := p.Simplify(8, true)
+		seq := make([][]float64, 4+rng.Intn(5))
+		for i := range seq {
+			seq[i] = []float64{rng.Float64()*2 - 1, rng.Float64()}
+		}
+		m1, m2 := NewMachine(8), NewMachine(8)
+		t1, t2 := m1.Trace(p, seq), m2.Trace(s, seq)
+		for i := range t1 {
+			if math.Abs(t1[i]-t2[i]) > 1e-12 {
+				t.Fatalf("trial %d step %d: %v vs %v", trial, i, t1[i], t2[i])
+			}
+		}
+	}
+}
+
+func TestSimplifyShrinksEvolvedRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	examples := accumulationExamples(rng, 10)
+	cfg := testCfg()
+	tr, err := NewTrainer(cfg, examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tr.Run()
+	s := res.Best.Simplify(cfg.NumRegisters, true)
+	if len(s.Code) > len(res.Best.Code) {
+		t.Errorf("simplification grew the program: %d -> %d",
+			len(res.Best.Code), len(s.Code))
+	}
+	// Behaviour preserved on the training examples.
+	m1, m2 := NewMachine(cfg.NumRegisters), NewMachine(cfg.NumRegisters)
+	for _, ex := range examples {
+		a := m1.RunSequence(res.Best, ex.Inputs)
+		b := m2.RunSequence(s, ex.Inputs)
+		if math.Abs(a-b) > 1e-12 {
+			t.Fatalf("simplified rule diverges: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package metrics implements the information-retrieval measurements of
+// the paper's Table 3 — Recall, Precision and F1 — together with the
+// micro- and macro-averaging used for Tables 4–6.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Contingency is a binary-classification contingency table for one
+// category: TP in-class documents classified in-class, FN in-class
+// classified out-class, FP out-class classified in-class, TN the rest.
+type Contingency struct {
+	TP, FN, FP, TN int
+}
+
+// Add accumulates another table into c.
+func (c *Contingency) Add(o Contingency) {
+	c.TP += o.TP
+	c.FN += o.FN
+	c.FP += o.FP
+	c.TN += o.TN
+}
+
+// Observe records one document: whether it truly belongs to the category
+// and whether the classifier said it does.
+func (c *Contingency) Observe(actual, predicted bool) {
+	switch {
+	case actual && predicted:
+		c.TP++
+	case actual && !predicted:
+		c.FN++
+	case !actual && predicted:
+		c.FP++
+	default:
+		c.TN++
+	}
+}
+
+// Recall returns TP/(TP+FN), or 0 when undefined.
+func (c Contingency) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// Precision returns TP/(TP+FP), or 0 when undefined.
+func (c Contingency) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// F1 returns the harmonic mean of precision and recall, or 0 when both
+// are 0.
+func (c Contingency) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy returns (TP+TN)/total, or 0 on an empty table.
+func (c Contingency) Accuracy() float64 {
+	total := c.TP + c.FN + c.FP + c.TN
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+// Total returns the number of observations in the table.
+func (c Contingency) Total() int { return c.TP + c.FN + c.FP + c.TN }
+
+// String renders the table compactly.
+func (c Contingency) String() string {
+	return fmt.Sprintf("TP=%d FN=%d FP=%d TN=%d", c.TP, c.FN, c.FP, c.TN)
+}
+
+// Set holds per-category contingency tables for a multi-category,
+// binary-per-category evaluation (the paper's setting: one binary RLGP
+// classifier per Reuters category).
+type Set struct {
+	tables map[string]*Contingency
+}
+
+// NewSet returns an empty evaluation set.
+func NewSet() *Set {
+	return &Set{tables: make(map[string]*Contingency)}
+}
+
+// Observe records one (document, category) decision.
+func (s *Set) Observe(category string, actual, predicted bool) {
+	t, ok := s.tables[category]
+	if !ok {
+		t = &Contingency{}
+		s.tables[category] = t
+	}
+	t.Observe(actual, predicted)
+}
+
+// Table returns the contingency table for a category (zero table if the
+// category was never observed).
+func (s *Set) Table(category string) Contingency {
+	if t, ok := s.tables[category]; ok {
+		return *t
+	}
+	return Contingency{}
+}
+
+// Categories returns the observed category names in sorted order.
+func (s *Set) Categories() []string {
+	out := make([]string, 0, len(s.tables))
+	for c := range s.tables {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MacroF1 returns the unweighted mean of per-category F1 scores — the
+// paper's "Macro Ave.".
+func (s *Set) MacroF1() float64 {
+	if len(s.tables) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, t := range s.tables {
+		sum += t.F1()
+	}
+	return sum / float64(len(s.tables))
+}
+
+// MicroF1 returns the F1 of the globally pooled contingency table — the
+// paper's "Micro Ave.".
+func (s *Set) MicroF1() float64 {
+	return s.Pooled().F1()
+}
+
+// Pooled returns the sum of all per-category tables.
+func (s *Set) Pooled() Contingency {
+	var pooled Contingency
+	for _, t := range s.tables {
+		pooled.Add(*t)
+	}
+	return pooled
+}
+
+// MacroPrecision returns the unweighted mean per-category precision.
+func (s *Set) MacroPrecision() float64 {
+	if len(s.tables) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, t := range s.tables {
+		sum += t.Precision()
+	}
+	return sum / float64(len(s.tables))
+}
+
+// MacroRecall returns the unweighted mean per-category recall.
+func (s *Set) MacroRecall() float64 {
+	if len(s.tables) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, t := range s.tables {
+		sum += t.Recall()
+	}
+	return sum / float64(len(s.tables))
+}

@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestObserveRouting(t *testing.T) {
+	var c Contingency
+	c.Observe(true, true)
+	c.Observe(true, false)
+	c.Observe(false, true)
+	c.Observe(false, false)
+	if c != (Contingency{TP: 1, FN: 1, FP: 1, TN: 1}) {
+		t.Errorf("Observe routing wrong: %v", c)
+	}
+	if c.Total() != 4 {
+		t.Errorf("Total = %d", c.Total())
+	}
+}
+
+func TestRecallPrecisionF1(t *testing.T) {
+	// Table 3 definitions: R = TP/(TP+FN), P = TP/(TP+FP), F1 = 2RP/(R+P).
+	c := Contingency{TP: 8, FN: 2, FP: 4, TN: 86}
+	if !almost(c.Recall(), 0.8) {
+		t.Errorf("Recall = %v", c.Recall())
+	}
+	if !almost(c.Precision(), 8.0/12.0) {
+		t.Errorf("Precision = %v", c.Precision())
+	}
+	wantF1 := 2 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0/12.0)
+	if !almost(c.F1(), wantF1) {
+		t.Errorf("F1 = %v, want %v", c.F1(), wantF1)
+	}
+}
+
+func TestUndefinedMeasuresAreZero(t *testing.T) {
+	var c Contingency
+	if c.Recall() != 0 || c.Precision() != 0 || c.F1() != 0 || c.Accuracy() != 0 {
+		t.Error("empty table measures not zero")
+	}
+	onlyTN := Contingency{TN: 10}
+	if onlyTN.Recall() != 0 || onlyTN.Precision() != 0 || onlyTN.F1() != 0 {
+		t.Error("TN-only table measures not zero")
+	}
+	if !almost(onlyTN.Accuracy(), 1) {
+		t.Errorf("TN-only accuracy = %v", onlyTN.Accuracy())
+	}
+}
+
+func TestPerfectClassifier(t *testing.T) {
+	c := Contingency{TP: 5, TN: 95}
+	if !almost(c.F1(), 1) || !almost(c.Accuracy(), 1) {
+		t.Errorf("perfect classifier: F1=%v acc=%v", c.F1(), c.Accuracy())
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := Contingency{TP: 1, FN: 2, FP: 3, TN: 4}
+	a.Add(Contingency{TP: 10, FN: 20, FP: 30, TN: 40})
+	if a != (Contingency{TP: 11, FN: 22, FP: 33, TN: 44}) {
+		t.Errorf("Add = %v", a)
+	}
+}
+
+func TestSetMacroMicro(t *testing.T) {
+	s := NewSet()
+	// Category A: perfect (F1=1). Category B: nothing right (F1=0).
+	for i := 0; i < 10; i++ {
+		s.Observe("a", true, true)
+		s.Observe("b", true, false)
+	}
+	if !almost(s.MacroF1(), 0.5) {
+		t.Errorf("MacroF1 = %v, want 0.5", s.MacroF1())
+	}
+	// Pooled: TP=10, FN=10 -> P=1, R=0.5, F1=2/3.
+	if !almost(s.MicroF1(), 2.0/3.0) {
+		t.Errorf("MicroF1 = %v, want 2/3", s.MicroF1())
+	}
+}
+
+func TestSetTableAndCategories(t *testing.T) {
+	s := NewSet()
+	s.Observe("earn", true, true)
+	s.Observe("acq", false, true)
+	if got := s.Categories(); len(got) != 2 || got[0] != "acq" || got[1] != "earn" {
+		t.Errorf("Categories = %v", got)
+	}
+	if tab := s.Table("earn"); tab.TP != 1 {
+		t.Errorf("Table(earn) = %v", tab)
+	}
+	if tab := s.Table("missing"); tab.Total() != 0 {
+		t.Errorf("Table(missing) = %v", tab)
+	}
+}
+
+func TestEmptySetAverages(t *testing.T) {
+	s := NewSet()
+	if s.MacroF1() != 0 || s.MicroF1() != 0 || s.MacroPrecision() != 0 || s.MacroRecall() != 0 {
+		t.Error("empty set averages not zero")
+	}
+}
+
+func TestMacroPrecisionRecall(t *testing.T) {
+	s := NewSet()
+	// a: P=1, R=0.5. b: P=0.5, R=1.
+	s.Observe("a", true, true)
+	s.Observe("a", true, false)
+	s.Observe("b", true, true)
+	s.Observe("b", false, true)
+	if !almost(s.MacroPrecision(), 0.75) {
+		t.Errorf("MacroPrecision = %v", s.MacroPrecision())
+	}
+	if !almost(s.MacroRecall(), 0.75) {
+		t.Errorf("MacroRecall = %v", s.MacroRecall())
+	}
+}
+
+// Property: F1 always lies between min and max of precision and recall,
+// and all measures lie in [0,1].
+func TestMeasureBoundsProperty(t *testing.T) {
+	f := func(tp, fn, fp, tn uint8) bool {
+		c := Contingency{TP: int(tp), FN: int(fn), FP: int(fp), TN: int(tn)}
+		p, r, f1 := c.Precision(), c.Recall(), c.F1()
+		for _, v := range []float64{p, r, f1, c.Accuracy()} {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		if p > 0 && r > 0 {
+			lo, hi := math.Min(p, r), math.Max(p, r)
+			if f1 < lo-1e-12 || f1 > hi+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pooled table equals the sum of per-category observations.
+func TestPooledSumProperty(t *testing.T) {
+	f := func(obs []bool) bool {
+		s := NewSet()
+		n := 0
+		for i, b := range obs {
+			cat := "x"
+			if i%2 == 0 {
+				cat = "y"
+			}
+			s.Observe(cat, b, !b)
+			n++
+		}
+		return s.Pooled().Total() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContingencyString(t *testing.T) {
+	c := Contingency{TP: 1, FN: 2, FP: 3, TN: 4}
+	if got := c.String(); got != "TP=1 FN=2 FP=3 TN=4" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PRPoint is one point of a precision-recall curve.
+type PRPoint struct {
+	Threshold float64
+	Precision float64
+	Recall    float64
+}
+
+// PRCurve sweeps thresholds over decision scores and returns the
+// precision-recall trade-off, ordered from high threshold (low recall)
+// to low threshold (high recall). A point is emitted after each distinct
+// score value.
+func PRCurve(scores []float64, labels []bool) ([]PRPoint, error) {
+	if len(scores) != len(labels) {
+		return nil, fmt.Errorf("metrics: PR curve length mismatch %d vs %d", len(scores), len(labels))
+	}
+	if len(scores) == 0 {
+		return nil, fmt.Errorf("metrics: PR curve needs scores")
+	}
+	type pair struct {
+		s   float64
+		pos bool
+	}
+	ps := make([]pair, len(scores))
+	totalPos := 0
+	for i := range scores {
+		ps[i] = pair{scores[i], labels[i]}
+		if labels[i] {
+			totalPos++
+		}
+	}
+	if totalPos == 0 {
+		return nil, fmt.Errorf("metrics: PR curve needs at least one positive")
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].s > ps[j].s })
+	var out []PRPoint
+	tp, fp := 0, 0
+	for i := 0; i < len(ps); i++ {
+		if ps[i].pos {
+			tp++
+		} else {
+			fp++
+		}
+		if i+1 < len(ps) && ps[i+1].s == ps[i].s {
+			continue
+		}
+		out = append(out, PRPoint{
+			Threshold: ps[i].s,
+			Precision: float64(tp) / float64(tp+fp),
+			Recall:    float64(tp) / float64(totalPos),
+		})
+	}
+	return out, nil
+}
+
+// BreakEven returns the precision/recall break-even point — the classic
+// single-number Reuters effectiveness measure: the value where
+// precision equals recall along the curve (interpolated as the point
+// minimising |P-R|, reporting (P+R)/2 there).
+func BreakEven(scores []float64, labels []bool) (float64, error) {
+	curve, err := PRCurve(scores, labels)
+	if err != nil {
+		return 0, err
+	}
+	best := math.Inf(1)
+	var value float64
+	for _, pt := range curve {
+		if d := math.Abs(pt.Precision - pt.Recall); d < best {
+			best = d
+			value = (pt.Precision + pt.Recall) / 2
+		}
+	}
+	return value, nil
+}
+
+// AveragePrecision returns the area under the precision-recall curve
+// computed by the standard step interpolation (sum of precision at each
+// new true positive divided by total positives).
+func AveragePrecision(scores []float64, labels []bool) (float64, error) {
+	if len(scores) != len(labels) {
+		return 0, fmt.Errorf("metrics: AP length mismatch %d vs %d", len(scores), len(labels))
+	}
+	type pair struct {
+		s   float64
+		pos bool
+	}
+	ps := make([]pair, len(scores))
+	totalPos := 0
+	for i := range scores {
+		ps[i] = pair{scores[i], labels[i]}
+		if labels[i] {
+			totalPos++
+		}
+	}
+	if totalPos == 0 {
+		return 0, fmt.Errorf("metrics: AP needs at least one positive")
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].s > ps[j].s })
+	tp := 0
+	var sum float64
+	for i, p := range ps {
+		if p.pos {
+			tp++
+			sum += float64(tp) / float64(i+1)
+		}
+	}
+	return sum / float64(totalPos), nil
+}

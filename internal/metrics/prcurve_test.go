@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPRCurvePerfectRanking(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	curve, err := PRCurve(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 4 {
+		t.Fatalf("curve = %v", curve)
+	}
+	// At the second point (both positives ranked first): P=1, R=1.
+	if curve[1].Precision != 1 || curve[1].Recall != 1 {
+		t.Errorf("curve[1] = %+v", curve[1])
+	}
+	// Recall never decreases along the sweep.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Recall < curve[i-1].Recall {
+			t.Errorf("recall decreased at %d: %v", i, curve)
+		}
+	}
+	// The final point always has recall 1.
+	if curve[len(curve)-1].Recall != 1 {
+		t.Errorf("final recall = %v", curve[len(curve)-1].Recall)
+	}
+}
+
+func TestPRCurveTiedScores(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.1}
+	labels := []bool{true, false, true}
+	curve, err := PRCurve(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ties collapse into one point: 2 distinct scores -> 2 points.
+	if len(curve) != 2 {
+		t.Fatalf("curve = %v", curve)
+	}
+	if curve[0].Precision != 0.5 || curve[0].Recall != 0.5 {
+		t.Errorf("tied point = %+v", curve[0])
+	}
+}
+
+func TestPRCurveErrors(t *testing.T) {
+	if _, err := PRCurve([]float64{1}, []bool{true, false}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PRCurve(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := PRCurve([]float64{1, 2}, []bool{false, false}); err == nil {
+		t.Error("no positives accepted")
+	}
+}
+
+func TestBreakEvenPerfect(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	be, err := BreakEven(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be != 1 {
+		t.Errorf("break-even = %v, want 1", be)
+	}
+}
+
+func TestBreakEvenMixedRanking(t *testing.T) {
+	// Ranking: +, -, +, - : at rank 1 P=1,R=.5; rank2 P=.5,R=.5 (|d|=0);
+	// rank3 P=2/3,R=1; rank4 P=.5,R=1.
+	scores := []float64{0.9, 0.8, 0.7, 0.6}
+	labels := []bool{true, false, true, false}
+	be, err := BreakEven(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(be-0.5) > 1e-12 {
+		t.Errorf("break-even = %v, want 0.5", be)
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	// Ranking +,-,+: AP = (1/1 + 2/3)/2 = 5/6.
+	scores := []float64{0.9, 0.8, 0.7}
+	labels := []bool{true, false, true}
+	ap, err := AveragePrecision(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ap-5.0/6.0) > 1e-12 {
+		t.Errorf("AP = %v, want 5/6", ap)
+	}
+	// Perfect ranking -> AP 1.
+	ap, err = AveragePrecision([]float64{2, 1, 0}, []bool{true, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap != 1 {
+		t.Errorf("perfect AP = %v", ap)
+	}
+	if _, err := AveragePrecision([]float64{1}, []bool{false}); err == nil {
+		t.Error("no positives accepted")
+	}
+	if _, err := AveragePrecision([]float64{1}, []bool{true, false}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

@@ -1,0 +1,231 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Significance testing for classifier comparisons, following the
+// protocol of Yang & Liu (SIGIR 1999), which evaluation studies of
+// Reuters classifiers (including those the paper compares against)
+// adopted: a micro sign test (s-test) over paired per-decision
+// correctness, and a macro paired t-test over per-category F1 scores.
+
+// SignTest performs the two-sided micro sign test on paired binary
+// decisions: aCorrect and bCorrect report, per (document, category)
+// decision, whether system A and system B were right. Ties (both right
+// or both wrong) are discarded, as the s-test prescribes. It returns
+// the counts where exactly one system was right and the two-sided
+// p-value (exact binomial for n ≤ 50, normal approximation beyond).
+func SignTest(aCorrect, bCorrect []bool) (aOnly, bOnly int, p float64, err error) {
+	if len(aCorrect) != len(bCorrect) {
+		return 0, 0, 0, fmt.Errorf("metrics: sign test length mismatch %d vs %d", len(aCorrect), len(bCorrect))
+	}
+	for i := range aCorrect {
+		switch {
+		case aCorrect[i] && !bCorrect[i]:
+			aOnly++
+		case !aCorrect[i] && bCorrect[i]:
+			bOnly++
+		}
+	}
+	n := aOnly + bOnly
+	if n == 0 {
+		return aOnly, bOnly, 1, nil
+	}
+	k := aOnly
+	if bOnly < k {
+		k = bOnly
+	}
+	if n <= 50 {
+		// Exact two-sided binomial: 2·P(X ≤ k | n, ½), capped at 1.
+		var cum float64
+		for i := 0; i <= k; i++ {
+			cum += binomialPMF(n, i)
+		}
+		p = 2 * cum
+	} else {
+		// Normal approximation with continuity correction.
+		z := (float64(k) + 0.5 - float64(n)/2) / math.Sqrt(float64(n)/4)
+		p = 2 * normalCDF(z)
+	}
+	if p > 1 {
+		p = 1
+	}
+	return aOnly, bOnly, p, nil
+}
+
+// binomialPMF is C(n,k)·(1/2)^n computed in log space for stability.
+func binomialPMF(n, k int) float64 {
+	lg := lgammaf(float64(n+1)) - lgammaf(float64(k+1)) - lgammaf(float64(n-k+1))
+	return math.Exp(lg - float64(n)*math.Ln2)
+}
+
+func lgammaf(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// normalCDF is Φ(z) for the standard normal.
+func normalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// PairedTTest performs the two-sided paired t-test on per-category
+// score pairs (e.g. F1 of two systems over the same categories),
+// returning the t statistic, degrees of freedom and two-sided p-value.
+// At least two non-identical pairs are required.
+func PairedTTest(a, b []float64) (t float64, df int, p float64, err error) {
+	if len(a) != len(b) {
+		return 0, 0, 0, fmt.Errorf("metrics: t-test length mismatch %d vs %d", len(a), len(b))
+	}
+	n := len(a)
+	if n < 2 {
+		return 0, 0, 0, fmt.Errorf("metrics: t-test needs at least 2 pairs, got %d", n)
+	}
+	diffs := make([]float64, n)
+	var mean float64
+	for i := range a {
+		diffs[i] = a[i] - b[i]
+		mean += diffs[i]
+	}
+	mean /= float64(n)
+	var variance float64
+	for _, d := range diffs {
+		dd := d - mean
+		variance += dd * dd
+	}
+	variance /= float64(n - 1)
+	if variance == 0 {
+		if mean == 0 {
+			return 0, n - 1, 1, nil
+		}
+		return math.Inf(sign(mean)), n - 1, 0, nil
+	}
+	t = mean / math.Sqrt(variance/float64(n))
+	df = n - 1
+	p = 2 * studentTSF(math.Abs(t), float64(df))
+	if p > 1 {
+		p = 1
+	}
+	return t, df, p, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// studentTSF is the survival function P(T > t) of Student's t with df
+// degrees of freedom, via the regularised incomplete beta function:
+// P(T > t) = ½·I_{df/(df+t²)}(df/2, ½).
+func studentTSF(t, df float64) float64 {
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularised incomplete beta function I_x(a,b)
+// by the continued-fraction expansion (Lentz's algorithm; Numerical
+// Recipes 6.4).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lnBeta := lgammaf(a+b) - lgammaf(a) - lgammaf(b)
+	front := math.Exp(lnBeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func betaCF(a, b, x float64) float64 {
+	const maxIter = 200
+	const eps = 3e-14
+	const tiny = 1e-30
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// CompareSystems runs both tests over two evaluation sets that observed
+// the same decisions in the same order: the micro s-test over pooled
+// per-decision correctness and the macro t-test over per-category F1.
+type Comparison struct {
+	// AOnly and BOnly count decisions exactly one system got right.
+	AOnly, BOnly int
+	// SignP is the two-sided s-test p-value.
+	SignP float64
+	// T, DF and TTestP describe the macro paired t-test over F1 scores.
+	T      float64
+	DF     int
+	TTestP float64
+}
+
+// Compare tests whether two systems differ significantly given their
+// paired per-decision correctness vectors and per-category F1 maps over
+// the same categories.
+func Compare(aCorrect, bCorrect []bool, aF1, bF1 map[string]float64) (*Comparison, error) {
+	aOnly, bOnly, signP, err := SignTest(aCorrect, bCorrect)
+	if err != nil {
+		return nil, err
+	}
+	var av, bv []float64
+	for cat, a := range aF1 {
+		b, ok := bF1[cat]
+		if !ok {
+			return nil, fmt.Errorf("metrics: category %q missing from second system", cat)
+		}
+		av = append(av, a)
+		bv = append(bv, b)
+	}
+	t, df, tp, err := PairedTTest(av, bv)
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{
+		AOnly: aOnly, BOnly: bOnly, SignP: signP,
+		T: t, DF: df, TTestP: tp,
+	}, nil
+}

@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSignTestExact(t *testing.T) {
+	// 8 decisions only A got right, 2 only B, plus ties.
+	var a, b []bool
+	for i := 0; i < 8; i++ {
+		a = append(a, true)
+		b = append(b, false)
+	}
+	for i := 0; i < 2; i++ {
+		a = append(a, false)
+		b = append(b, true)
+	}
+	for i := 0; i < 5; i++ { // ties are discarded
+		a = append(a, true)
+		b = append(b, true)
+	}
+	aOnly, bOnly, p, err := SignTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aOnly != 8 || bOnly != 2 {
+		t.Fatalf("counts %d/%d", aOnly, bOnly)
+	}
+	// 2·(C(10,0)+C(10,1)+C(10,2))/2^10 = 112/1024.
+	if want := 112.0 / 1024.0; math.Abs(p-want) > 1e-12 {
+		t.Errorf("p = %v, want %v", p, want)
+	}
+}
+
+func TestSignTestAllTies(t *testing.T) {
+	a := []bool{true, false, true}
+	_, _, p, err := SignTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("all-ties p = %v", p)
+	}
+}
+
+func TestSignTestNormalApproximation(t *testing.T) {
+	var a, b []bool
+	for i := 0; i < 65; i++ {
+		a = append(a, true)
+		b = append(b, false)
+	}
+	for i := 0; i < 35; i++ {
+		a = append(a, false)
+		b = append(b, true)
+	}
+	_, _, p, err := SignTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// z = (35.5-50)/5 = -2.9 -> two-sided p ≈ 0.00373.
+	if math.Abs(p-0.00373) > 0.0005 {
+		t.Errorf("normal-approx p = %v, want ~0.00373", p)
+	}
+}
+
+func TestSignTestMismatch(t *testing.T) {
+	if _, _, _, err := SignTest([]bool{true}, []bool{true, false}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestStudentTKnownQuantiles(t *testing.T) {
+	// Standard t-table values: P(T > t) one-sided.
+	cases := []struct {
+		t, df, want float64
+	}{
+		{2.262, 9, 0.025},  // 95% two-sided critical value, df=9
+		{1.833, 9, 0.05},   // 90% two-sided
+		{2.228, 10, 0.025}, // df=10
+		{1.96, 1e6, 0.025}, // large df -> normal
+		{0, 9, 0.5},
+	}
+	for _, tc := range cases {
+		if got := studentTSF(tc.t, tc.df); math.Abs(got-tc.want) > 5e-4 {
+			t.Errorf("SF(t=%v, df=%v) = %v, want %v", tc.t, tc.df, got, tc.want)
+		}
+	}
+}
+
+func TestPairedTTestAgainstTable(t *testing.T) {
+	// Hand-computed: diffs with mean 0.65, sd 1.01572... give
+	// t = 2.0237 at df=9; two-sided p from the t distribution ≈ 0.0737.
+	diffs := []float64{1.5, -0.5, 1.0, 0.0, 2.0, -1.0, 1.2, 0.8, -0.2, 1.7}
+	a := make([]float64, len(diffs))
+	b := make([]float64, len(diffs))
+	copy(a, diffs)
+	tStat, df, p, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df != 9 {
+		t.Errorf("df = %d", df)
+	}
+	if math.Abs(tStat-2.0237) > 1e-3 {
+		t.Errorf("t = %v, want ~2.0237", tStat)
+	}
+	if math.Abs(p-0.0737) > 1e-3 {
+		t.Errorf("p = %v, want ~0.0737", p)
+	}
+}
+
+func TestPairedTTestDegenerate(t *testing.T) {
+	// Identical systems: t=0, p=1.
+	a := []float64{0.5, 0.7, 0.9}
+	tStat, _, p, err := PairedTTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tStat != 0 || p != 1 {
+		t.Errorf("identical systems: t=%v p=%v", tStat, p)
+	}
+	// Constant non-zero difference: infinitely significant.
+	b := []float64{0.4, 0.6, 0.8}
+	tStat, _, p, err = PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(tStat, 1) || p != 0 {
+		t.Errorf("constant difference: t=%v p=%v", tStat, p)
+	}
+	if _, _, _, err := PairedTTest([]float64{1}, []float64{2}); err == nil {
+		t.Error("single pair accepted")
+	}
+	if _, _, _, err := PairedTTest([]float64{1, 2}, []float64{2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestRegIncBetaIdentities(t *testing.T) {
+	// I_x(1,1) = x.
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-12 {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	if regIncBeta(2, 3, 0) != 0 || regIncBeta(2, 3, 1) != 1 {
+		t.Error("boundary values wrong")
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	for _, x := range []float64{0.2, 0.7} {
+		lhs := regIncBeta(2.5, 1.5, x)
+		rhs := 1 - regIncBeta(1.5, 2.5, 1-x)
+		if math.Abs(lhs-rhs) > 1e-10 {
+			t.Errorf("symmetry at %v: %v vs %v", x, lhs, rhs)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := []bool{true, true, true, false}
+	b := []bool{false, true, false, false}
+	aF1 := map[string]float64{"earn": 0.9, "acq": 0.8, "grain": 0.7}
+	bF1 := map[string]float64{"earn": 0.7, "acq": 0.6, "grain": 0.5}
+	cmp, err := Compare(a, b, aF1, bF1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.AOnly != 2 || cmp.BOnly != 0 {
+		t.Errorf("counts %d/%d", cmp.AOnly, cmp.BOnly)
+	}
+	if cmp.SignP < 0 || cmp.SignP > 1 || cmp.TTestP < 0 || cmp.TTestP > 1 {
+		t.Errorf("p-values out of range: %+v", cmp)
+	}
+	// Constant 0.2 difference -> t-test maximally significant (tiny
+	// floating-point variance keeps p slightly above zero).
+	if cmp.TTestP > 1e-10 {
+		t.Errorf("constant-diff TTestP = %v", cmp.TTestP)
+	}
+	if _, err := Compare(a, b, aF1, map[string]float64{"earn": 1}); err == nil {
+		t.Error("missing category accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package metrics
+
+// BestF1Threshold sweeps candidate thresholds over real-valued decision
+// scores and returns the threshold maximising F1 against the labels
+// (candidates are midpoints between adjacent distinct scores; a score
+// counts as positive when strictly above the threshold). Used by
+// score-based classifiers to convert a decision function into a binary
+// rule.
+func BestF1Threshold(scores []float64, labels []bool) float64 {
+	if len(scores) == 0 {
+		return 0
+	}
+	type pair struct {
+		s   float64
+		pos bool
+	}
+	ps := make([]pair, len(scores))
+	totalPos := 0
+	for i := range scores {
+		ps[i] = pair{scores[i], labels[i]}
+		if labels[i] {
+			totalPos++
+		}
+	}
+	// Sort descending by score (insertion sort: callers pass at most a
+	// few thousand training scores).
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].s > ps[j-1].s; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+	bestF1, bestThr := -1.0, ps[0].s+1
+	tp, fp := 0, 0
+	for i := 0; i < len(ps); i++ {
+		if ps[i].pos {
+			tp++
+		} else {
+			fp++
+		}
+		// Threshold just below ps[i].s: everything up to i is positive.
+		if i+1 < len(ps) && ps[i+1].s == ps[i].s {
+			continue
+		}
+		fn := totalPos - tp
+		den := 2*tp + fp + fn
+		if den == 0 {
+			continue
+		}
+		f1 := 2 * float64(tp) / float64(den)
+		if f1 > bestF1 {
+			bestF1 = f1
+			if i+1 < len(ps) {
+				bestThr = (ps[i].s + ps[i+1].s) / 2
+			} else {
+				bestThr = ps[i].s - 1e-9
+			}
+		}
+	}
+	return bestThr
+}

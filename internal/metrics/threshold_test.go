@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func f1At(scores []float64, labels []bool, thr float64) float64 {
+	var c Contingency
+	for i := range scores {
+		c.Observe(labels[i], scores[i] > thr)
+	}
+	return c.F1()
+}
+
+func TestBestF1ThresholdSeparable(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	thr := BestF1Threshold(scores, labels)
+	if got := f1At(scores, labels, thr); got != 1 {
+		t.Errorf("F1 at chosen threshold = %v", got)
+	}
+}
+
+func TestBestF1ThresholdEmpty(t *testing.T) {
+	if thr := BestF1Threshold(nil, nil); thr != 0 {
+		t.Errorf("empty input threshold = %v", thr)
+	}
+}
+
+func TestBestF1ThresholdAllPositive(t *testing.T) {
+	scores := []float64{3, 1, 2}
+	labels := []bool{true, true, true}
+	thr := BestF1Threshold(scores, labels)
+	if got := f1At(scores, labels, thr); got != 1 {
+		t.Errorf("F1 = %v", got)
+	}
+}
+
+func TestBestF1ThresholdAllNegative(t *testing.T) {
+	scores := []float64{3, 1, 2}
+	labels := []bool{false, false, false}
+	thr := BestF1Threshold(scores, labels)
+	// F1 is 0 for every threshold; any choice is acceptable but the
+	// sweep must not panic and must return a finite value.
+	_ = thr
+}
+
+// Property: the returned threshold achieves the maximum F1 over a dense
+// grid of alternatives.
+func TestBestF1ThresholdOptimalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(20)
+		scores := make([]float64, n)
+		labels := make([]bool, n)
+		for i := range scores {
+			scores[i] = r.Float64()
+			labels[i] = r.Float64() < 0.4
+		}
+		best := BestF1Threshold(scores, labels)
+		bestF1 := f1At(scores, labels, best)
+		// Compare against thresholds slightly below every score plus
+		// extremes.
+		for _, s := range scores {
+			for _, alt := range []float64{s - 1e-6, s + 1e-6} {
+				if f1At(scores, labels, alt) > bestF1+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

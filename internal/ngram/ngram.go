@@ -1,0 +1,103 @@
+// Package ngram extracts statistical word n-grams — the representation
+// behind the tree-GP baseline (Hirsch et al. 2005, the T-GP system of
+// Table 5) and one of the phrase-based representations the paper's
+// related-work section discusses.
+package ngram
+
+import (
+	"sort"
+	"strings"
+
+	"temporaldoc/internal/corpus"
+)
+
+// Sep joins the words of an n-gram into a single feature name.
+const Sep = "_"
+
+// Extract returns the n-grams of order n from the ordered word sequence,
+// in order of occurrence (with duplicates).
+func Extract(words []string, n int) []string {
+	if n <= 0 || len(words) < n {
+		return nil
+	}
+	out := make([]string, 0, len(words)-n+1)
+	for i := 0; i+n <= len(words); i++ {
+		out = append(out, strings.Join(words[i:i+n], Sep))
+	}
+	return out
+}
+
+// ExtractUpTo returns all n-grams of orders 1..maxN, in occurrence order
+// per order.
+func ExtractUpTo(words []string, maxN int) []string {
+	var out []string
+	for n := 1; n <= maxN; n++ {
+		out = append(out, Extract(words, n)...)
+	}
+	return out
+}
+
+// TopByCategoryDF returns the k n-grams (orders 1..maxN) that appear in
+// the most training documents of the target category, ties broken
+// lexicographically. This is the feature-construction step of the T-GP
+// baseline.
+func TopByCategoryDF(train []corpus.Document, category string, maxN, k int) []string {
+	df := make(map[string]int)
+	for i := range train {
+		if !train[i].HasCategory(category) {
+			continue
+		}
+		seen := make(map[string]struct{})
+		for _, g := range ExtractUpTo(train[i].Words, maxN) {
+			if _, ok := seen[g]; ok {
+				continue
+			}
+			seen[g] = struct{}{}
+			df[g]++
+		}
+	}
+	type item struct {
+		g string
+		c int
+	}
+	items := make([]item, 0, len(df))
+	for g, c := range df {
+		items = append(items, item{g, c})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].c != items[j].c {
+			return items[i].c > items[j].c
+		}
+		return items[i].g < items[j].g
+	})
+	if k > len(items) {
+		k = len(items)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = items[i].g
+	}
+	return out
+}
+
+// CountVector returns, for each feature n-gram, its occurrence count in
+// the word sequence (features may be of mixed orders).
+func CountVector(words []string, features []string) []float64 {
+	counts := make(map[string]float64)
+	maxN := 1
+	for _, f := range features {
+		if n := strings.Count(f, Sep) + 1; n > maxN {
+			maxN = n
+		}
+	}
+	for n := 1; n <= maxN; n++ {
+		for _, g := range Extract(words, n) {
+			counts[g]++
+		}
+	}
+	out := make([]float64, len(features))
+	for i, f := range features {
+		out[i] = counts[f]
+	}
+	return out
+}

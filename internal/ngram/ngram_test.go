@@ -1,0 +1,109 @@
+package ngram
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"temporaldoc/internal/corpus"
+)
+
+func TestExtractBigrams(t *testing.T) {
+	got := Extract([]string{"a", "b", "c", "d"}, 2)
+	want := []string{"a_b", "b_c", "c_d"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Extract = %v, want %v", got, want)
+	}
+}
+
+func TestExtractEdgeCases(t *testing.T) {
+	if got := Extract([]string{"a"}, 2); got != nil {
+		t.Errorf("short input: %v", got)
+	}
+	if got := Extract(nil, 1); got != nil {
+		t.Errorf("nil input: %v", got)
+	}
+	if got := Extract([]string{"a", "b"}, 0); got != nil {
+		t.Errorf("zero order: %v", got)
+	}
+	if got := Extract([]string{"a", "b"}, 2); !reflect.DeepEqual(got, []string{"a_b"}) {
+		t.Errorf("exact length: %v", got)
+	}
+}
+
+func TestExtractUpTo(t *testing.T) {
+	got := ExtractUpTo([]string{"a", "b", "c"}, 2)
+	want := []string{"a", "b", "c", "a_b", "b_c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ExtractUpTo = %v, want %v", got, want)
+	}
+}
+
+// Property: number of n-grams is max(0, len-n+1).
+func TestExtractCountProperty(t *testing.T) {
+	f := func(words []string, n uint8) bool {
+		order := int(n%4) + 1
+		got := len(Extract(words, order))
+		want := len(words) - order + 1
+		if want < 0 {
+			want = 0
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopByCategoryDF(t *testing.T) {
+	train := []corpus.Document{
+		{ID: "1", Words: []string{"net", "profit", "rose"}, Categories: []string{"earn"}},
+		{ID: "2", Words: []string{"net", "profit", "fell"}, Categories: []string{"earn"}},
+		{ID: "3", Words: []string{"wheat", "crop"}, Categories: []string{"grain"}},
+	}
+	top := TopByCategoryDF(train, "earn", 2, 3)
+	if len(top) != 3 {
+		t.Fatalf("top = %v", top)
+	}
+	// "net", "profit" and "net_profit" all appear in both earn docs.
+	set := map[string]bool{}
+	for _, g := range top {
+		set[g] = true
+	}
+	if !set["net"] || !set["net_profit"] {
+		t.Errorf("expected df-2 n-grams in top: %v", top)
+	}
+	if set["wheat"] {
+		t.Errorf("out-of-category n-gram selected: %v", top)
+	}
+}
+
+func TestTopByCategoryDFBudget(t *testing.T) {
+	train := []corpus.Document{
+		{ID: "1", Words: []string{"a", "b"}, Categories: []string{"x"}},
+	}
+	if got := TopByCategoryDF(train, "x", 1, 10); len(got) != 2 {
+		t.Errorf("budget clamp: %v", got)
+	}
+	if got := TopByCategoryDF(train, "missing", 1, 10); len(got) != 0 {
+		t.Errorf("unknown category: %v", got)
+	}
+}
+
+func TestCountVector(t *testing.T) {
+	features := []string{"net", "net_profit", "wheat"}
+	got := CountVector([]string{"net", "profit", "net", "profit"}, features)
+	want := []float64{2, 2, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("CountVector = %v, want %v", got, want)
+	}
+}
+
+func TestCountVectorEmpty(t *testing.T) {
+	if got := CountVector(nil, []string{"a"}); got[0] != 0 {
+		t.Errorf("CountVector(nil) = %v", got)
+	}
+	if got := CountVector([]string{"a"}, nil); len(got) != 0 {
+		t.Errorf("CountVector no features = %v", got)
+	}
+}

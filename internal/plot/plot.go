@@ -1,0 +1,185 @@
+// Package plot renders the paper's figures as standalone SVG files
+// using only the standard library: word-tracking traces (Figures 5 and
+// 6) as step lines over the word axis, and AWC/fitness curves for
+// training diagnostics.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Color  string // CSS color; empty picks from the default cycle
+	Dashed bool
+}
+
+// Chart is a simple line/step chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // pixels; zero means 720
+	Height int // pixels; zero means 360
+	YMin   float64
+	YMax   float64
+	FixedY bool // use YMin/YMax instead of auto-scaling
+	Step   bool // render as step lines (word-tracking traces)
+	HLines []float64
+	Series []Series
+}
+
+var defaultColors = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#e377c2", "#17becf",
+}
+
+// WriteSVG renders the chart. It errors on charts without data.
+func (c *Chart) WriteSVG(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 360
+	}
+	const marginL, marginR, marginT, marginB = 56, 16, 36, 44
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d xs and %d ys", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			points++
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMin = math.Min(yMin, s.Y[i])
+			yMax = math.Max(yMax, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return fmt.Errorf("plot: series contain no points")
+	}
+	if c.FixedY {
+		yMin, yMax = c.YMin, c.YMax
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	sx := func(x float64) float64 { return float64(marginL) + (x-xMin)/(xMax-xMin)*plotW }
+	sy := func(y float64) float64 { return float64(marginT) + (yMax-y)/(yMax-yMin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n",
+		marginL, escape(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	// Y ticks: 5 divisions.
+	for i := 0; i <= 4; i++ {
+		y := yMin + (yMax-yMin)*float64(i)/4
+		py := sy(y)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ccc"/>`+"\n",
+			marginL, py, width-marginR, py)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end">%.2f</text>`+"\n",
+			marginL-6, py+3, y)
+	}
+	// X ticks: 6 divisions.
+	for i := 0; i <= 5; i++ {
+		x := xMin + (xMax-xMin)*float64(i)/5
+		px := sx(x)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%.0f</text>`+"\n",
+			px, height-marginB+14, x)
+	}
+	// Axis labels.
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			marginL+int(plotW/2), height-8, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+			marginT+int(plotH/2), marginT+int(plotH/2), escape(c.YLabel))
+	}
+	// Horizontal reference lines (e.g. decision thresholds).
+	for _, h := range c.HLines {
+		if h < yMin || h > yMax {
+			continue
+		}
+		py := sy(h)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#888" stroke-dasharray="4 3"/>`+"\n",
+			marginL, py, width-marginR, py)
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		color := s.Color
+		if color == "" {
+			color = defaultColors[si%len(defaultColors)]
+		}
+		var path strings.Builder
+		for i := range s.X {
+			px, py := sx(s.X[i]), sy(clamp(s.Y[i], yMin, yMax))
+			if i == 0 {
+				fmt.Fprintf(&path, "M%.1f %.1f", px, py)
+				continue
+			}
+			if c.Step {
+				prevY := sy(clamp(s.Y[i-1], yMin, yMax))
+				fmt.Fprintf(&path, " L%.1f %.1f", px, prevY)
+			}
+			fmt.Fprintf(&path, " L%.1f %.1f", px, py)
+		}
+		dash := ""
+		if s.Dashed {
+			dash = ` stroke-dasharray="6 3"`
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.8"%s/>`+"\n",
+			path.String(), color, dash)
+		// Legend entry.
+		lx := marginL + 10 + si*150
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"%s/>`+"\n",
+			lx, marginT-8, lx+18, marginT-8, color, dash)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+			lx+22, marginT-4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

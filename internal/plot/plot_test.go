@@ -1,0 +1,92 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func chart() *Chart {
+	return &Chart{
+		Title:  "Trace",
+		XLabel: "word",
+		YLabel: "output",
+		FixedY: true, YMin: -1, YMax: 1,
+		Step:   true,
+		HLines: []float64{0.25},
+		Series: []Series{
+			{Name: "earn", X: []float64{1, 2, 3}, Y: []float64{-0.5, 0.8, 0.9}},
+			{Name: "grain", X: []float64{1, 2, 3}, Y: []float64{0.1, -0.2, -0.9}, Dashed: true},
+		},
+	}
+}
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	var b strings.Builder
+	if err := chart().WriteSVG(&b); err != nil {
+		t.Fatalf("WriteSVG: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"<svg", "</svg>", "Trace", "earn", "grain",
+		"stroke-dasharray", "<path", "word", "output"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<svg") != 1 || strings.Count(out, "</svg>") != 1 {
+		t.Error("malformed SVG envelope")
+	}
+}
+
+func TestWriteSVGErrors(t *testing.T) {
+	var b strings.Builder
+	empty := &Chart{}
+	if err := empty.WriteSVG(&b); err == nil {
+		t.Error("empty chart accepted")
+	}
+	mismatched := &Chart{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := mismatched.WriteSVG(&b); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	noPoints := &Chart{Series: []Series{{Name: "x"}}}
+	if err := noPoints.WriteSVG(&b); err == nil {
+		t.Error("pointless chart accepted")
+	}
+}
+
+func TestWriteSVGEscapesText(t *testing.T) {
+	c := chart()
+	c.Title = `<script>&"`
+	var b strings.Builder
+	if err := c.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "<script>") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestWriteSVGDegenerateRanges(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "flat", X: []float64{5}, Y: []float64{2}}}}
+	var b strings.Builder
+	if err := c.WriteSVG(&b); err != nil {
+		t.Fatalf("single-point chart rejected: %v", err)
+	}
+	if !strings.Contains(b.String(), "<path") {
+		t.Error("no path drawn")
+	}
+}
+
+func TestWriteSVGClampsToFixedRange(t *testing.T) {
+	c := &Chart{
+		FixedY: true, YMin: -1, YMax: 1,
+		Series: []Series{{Name: "spiky", X: []float64{0, 1}, Y: []float64{-50, 50}}},
+	}
+	var b strings.Builder
+	if err := c.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	// No coordinate may land far outside the canvas.
+	if strings.Contains(b.String(), "NaN") {
+		t.Error("NaN coordinates")
+	}
+}

@@ -1,0 +1,82 @@
+package postag
+
+// defaultLexicon seeds the tagger with the most likely tag for common
+// English closed-class words, frequent verbs/adjectives, and the
+// financial-news vocabulary dominating Reuters-style corpora. Out-of-
+// lexicon words fall to the suffix rules.
+var defaultLexicon = map[string]Tag{
+	// Closed classes.
+	"the": DT, "a": DT, "an": DT, "this": DT, "that": DT, "these": DT,
+	"those": DT, "some": DT, "any": DT, "each": DT, "no": DT,
+	"of": IN, "in": IN, "on": IN, "at": IN, "by": IN, "for": IN,
+	"with": IN, "from": IN, "into": IN, "over": IN, "under": IN,
+	"after": IN, "before": IN, "against": IN, "during": IN, "between": IN,
+	"about": IN, "through": IN, "per": IN,
+	"and": CC, "or": CC, "but": CC, "nor": CC,
+	"to": TO,
+	"it": PRP, "he": PRP, "she": PRP, "they": PRP, "we": PRP, "i": PRP,
+	"you": PRP, "them": PRP, "him": PRP, "her": PRP, "us": PRP,
+	"will": MD, "would": MD, "can": MD, "could": MD, "may": MD,
+	"might": MD, "shall": MD, "should": MD, "must": MD,
+	"one": CD, "two": CD, "three": CD, "four": CD, "five": CD,
+	"six": CD, "seven": CD, "eight": CD, "nine": CD, "ten": CD,
+	"billion": CD, "million": CD, "thousand": CD, "hundred": CD,
+
+	// Frequent verbs (base and inflected forms that the suffix rules
+	// would misread).
+	"is": VBZ, "are": VB, "was": VBD, "were": VBD, "be": VB, "been": VBD,
+	"has": VBZ, "have": VB, "had": VBD, "do": VB, "does": VBZ, "did": VBD,
+	"say": VB, "says": VBZ, "said": VBD, "see": VB, "saw": VBD,
+	"make": VB, "makes": VBZ, "made": VBD, "take": VB, "took": VBD,
+	"give": VB, "gave": VBD, "get": VB, "got": VBD, "go": VB, "went": VBD,
+	"come": VB, "came": VBD, "know": VB, "knew": VBD, "think": VB,
+	"thought": VBD, "rose": VBD, "fell": VBD, "grew": VBD, "held": VBD,
+	"sold": VBD, "bought": VBD, "told": VBD, "met": VBD, "set": VB,
+	"cut": VB, "put": VB, "let": VB, "kept": VBD, "paid": VBD,
+	"expect": VB, "expects": VBZ, "announce": VB, "announces": VBZ,
+	"report": VB, "reports": VBZ, "agree": VB, "agrees": VBZ,
+	"buy": VB, "sell": VB, "rise": VB, "fall": VB, "raise": VB,
+	"lower": VB, "acquire": VB, "acquires": VBZ, "merge": VB,
+	"complete": VB, "completes": VBZ, "approve": VB, "approves": VBZ,
+	"remain": VB, "remains": VBZ, "include": VB, "includes": VBZ,
+
+	// Frequent adjectives/adverbs misread by suffix rules.
+	"new": JJ, "net": JJ, "gross": JJ, "high": JJ, "low": JJ, "higher": JJ,
+	"lower_adj": JJ, "strong": JJ, "weak": JJ, "good": JJ, "bad": JJ,
+	"large": JJ, "small": JJ, "major": JJ, "prior": JJ, "annual": JJ,
+	"fiscal": JJ, "foreign": JJ, "domestic": JJ, "total": JJ, "due": JJ,
+	"current": JJ, "previous": JJ, "average": JJ, "common": JJ,
+	"preferred": JJ, "outstanding": JJ, "early": RB, "late": RB,
+	"very": RB, "also": RB, "still": RB, "soon": RB, "again": RB,
+	"not": RB, "up": RB, "down": RB, "about_rb": RB,
+
+	// Core financial-news nouns (singular forms whose shape could
+	// mislead the suffix rules: "share" ends like a VB -e form etc.).
+	"share": NN, "shares": NNS, "stock": NN, "stocks": NNS,
+	"profit": NN, "profits": NNS, "loss": NN, "losses": NNS,
+	"price": NN, "prices": NNS, "rate": NN, "rates": NNS,
+	"sale": NN, "sales": NNS, "trade": NN, "trades": NNS,
+	"tonne": NN, "tonnes": NNS, "bushel": NN, "bushels": NNS,
+	"barrel": NN, "barrels": NNS, "crop": NN, "crops": NNS,
+	"wheat": NN, "corn": NN, "grain": NN, "maize": NN, "oil": NN,
+	"crude": NN, "gas": NN, "ship": NN, "ships": NNS, "port": NN,
+	"ports": NNS, "vessel": NN, "vessels": NNS, "cargo": NN,
+	"bank": NN, "banks": NNS, "money": NN, "currency": NN, "dollar": NN,
+	"dollars": NNS, "dlrs": NNS, "mln": NN, "blns": NNS, "bln": NN,
+	"cts": NNS, "pct": NN, "interest": NN, "deficit": NN, "surplus": NN,
+	"export": NN, "exports": NNS, "import": NN, "imports": NNS,
+	"market": NN, "markets": NNS, "company": NN, "companies": NNS,
+	"group": NN, "unit": NN, "units": NNS, "quarter": NN, "year": NN,
+	"years": NNS, "month": NN, "months": NNS, "week": NN, "weeks": NNS,
+	"dividend": NN, "dividends": NNS, "earnings": NNS, "revenue": NN,
+	"revenues": NNS, "income": NN, "tax": NN, "taxes": NNS,
+	"debt": NN, "bond": NN, "bonds": NNS, "fund": NN, "funds": NNS,
+	"offer": NN, "bid": NN, "merger": NN, "acquisition": NN,
+	"takeover": NN, "deal": NN, "stake": NN, "tender": NN,
+	"government": NN, "ministry": NN, "minister": NN, "official": NN,
+	"officials": NNS, "agreement": NN, "talks": NNS, "pact": NN,
+	"tariff": NN, "tariffs": NNS, "quota": NN, "quotas": NNS,
+	"supply": NN, "demand": NN, "output": NN, "production": NN,
+	"harvest": NN, "season": NN, "weather": NN, "drought": NN,
+	"opec": NN, "oecd": NN, "gatt": NN, "fed": NN, "treasury": NN,
+}

@@ -1,0 +1,166 @@
+// Package postag implements a Brill-style rule-based part-of-speech
+// tagger: a seed lexicon assigns the most likely tag to known words,
+// suffix rules guess tags for unknown words, and a small set of
+// contextual transformation rules patch the initial assignment — the
+// architecture of Brill (1992), which the paper uses to identify common
+// nouns (NN) and their plurals (NNS) for the Frequent Nouns feature
+// selection.
+package postag
+
+import "strings"
+
+// Tag is a part-of-speech tag using the Penn Treebank names the paper
+// refers to ("Common nouns and their plurals are marked as 'NNS' and
+// 'NN'").
+type Tag string
+
+// The tag inventory. Only the subset needed for noun identification and
+// the contextual rules is modelled.
+const (
+	NN  Tag = "NN"  // common noun, singular
+	NNS Tag = "NNS" // common noun, plural
+	VB  Tag = "VB"  // verb, base form
+	VBD Tag = "VBD" // verb, past tense
+	VBG Tag = "VBG" // verb, gerund
+	VBZ Tag = "VBZ" // verb, 3rd person singular present
+	JJ  Tag = "JJ"  // adjective
+	RB  Tag = "RB"  // adverb
+	IN  Tag = "IN"  // preposition / subordinating conjunction
+	DT  Tag = "DT"  // determiner
+	PRP Tag = "PRP" // personal pronoun
+	CC  Tag = "CC"  // coordinating conjunction
+	MD  Tag = "MD"  // modal
+	TO  Tag = "TO"  // "to"
+	CD  Tag = "CD"  // cardinal number (spelled out)
+)
+
+// IsNoun reports whether t marks a common noun (NN or NNS).
+func IsNoun(t Tag) bool { return t == NN || t == NNS }
+
+// Tagger assigns part-of-speech tags to token sequences.
+type Tagger struct {
+	lexicon map[string]Tag
+}
+
+// New returns a tagger with the embedded default lexicon.
+func New() *Tagger {
+	t := &Tagger{lexicon: make(map[string]Tag, len(defaultLexicon))}
+	for w, tag := range defaultLexicon {
+		t.lexicon[w] = tag
+	}
+	return t
+}
+
+// AddLexicon adds or overrides lexicon entries (word -> most likely tag).
+// Words are lower-cased.
+func (t *Tagger) AddLexicon(entries map[string]Tag) {
+	for w, tag := range entries {
+		t.lexicon[strings.ToLower(w)] = tag
+	}
+}
+
+// TagWord returns the context-free tag for a single word: lexicon lookup
+// first, then suffix rules, defaulting to NN (the most frequent open
+// class, as in Brill's tagger).
+func (t *Tagger) TagWord(word string) Tag {
+	w := strings.ToLower(word)
+	if tag, ok := t.lexicon[w]; ok {
+		return tag
+	}
+	return suffixTag(w)
+}
+
+// Tag tags an ordered token sequence: context-free assignment followed by
+// contextual transformation rules.
+func (t *Tagger) Tag(words []string) []Tag {
+	tags := make([]Tag, len(words))
+	for i, w := range words {
+		tags[i] = t.TagWord(w)
+	}
+	applyContextRules(words, tags)
+	return tags
+}
+
+// Nouns returns the subsequence of words tagged NN or NNS, preserving
+// order and duplicates (frequency matters downstream).
+func (t *Tagger) Nouns(words []string) []string {
+	tags := t.Tag(words)
+	var out []string
+	for i, tag := range tags {
+		if IsNoun(tag) {
+			out = append(out, words[i])
+		}
+	}
+	return out
+}
+
+// suffixTag guesses a tag for an out-of-lexicon word from its suffix,
+// mirroring Brill's lexical rules for unknown words.
+func suffixTag(w string) Tag {
+	switch {
+	case len(w) > 4 && strings.HasSuffix(w, "ly"):
+		return RB
+	case len(w) > 5 && strings.HasSuffix(w, "ing"):
+		return VBG
+	case len(w) > 4 && (strings.HasSuffix(w, "ous") || strings.HasSuffix(w, "ful") ||
+		strings.HasSuffix(w, "ive") || strings.HasSuffix(w, "able") ||
+		strings.HasSuffix(w, "ible") || strings.HasSuffix(w, "ical") ||
+		strings.HasSuffix(w, "less")):
+		return JJ
+	case len(w) > 6 && strings.HasSuffix(w, "tions"),
+		len(w) > 6 && strings.HasSuffix(w, "ments"),
+		len(w) > 6 && strings.HasSuffix(w, "ities"),
+		len(w) > 5 && strings.HasSuffix(w, "ers"),
+		len(w) > 5 && strings.HasSuffix(w, "ists"):
+		return NNS
+	case len(w) > 5 && (strings.HasSuffix(w, "tion") || strings.HasSuffix(w, "ment") ||
+		strings.HasSuffix(w, "ness") || strings.HasSuffix(w, "ship") ||
+		strings.HasSuffix(w, "ance") || strings.HasSuffix(w, "ence")),
+		len(w) > 4 && (strings.HasSuffix(w, "ity") || strings.HasSuffix(w, "ism") ||
+			strings.HasSuffix(w, "ist") || strings.HasSuffix(w, "age")),
+		len(w) > 3 && strings.HasSuffix(w, "er"):
+		return NN
+	case len(w) > 4 && strings.HasSuffix(w, "ed"):
+		return VBD
+	case len(w) > 4 && strings.HasSuffix(w, "ize"), len(w) > 4 && strings.HasSuffix(w, "ise"):
+		return VB
+	case len(w) > 3 && strings.HasSuffix(w, "ss"):
+		return NN // "loss", "business" — not a plural
+	case len(w) > 2 && strings.HasSuffix(w, "s"):
+		return NNS
+	default:
+		return NN
+	}
+}
+
+// applyContextRules patches initial tags with Brill-style contextual
+// transformations. Rules run in order over the whole sequence.
+func applyContextRules(words []string, tags []Tag) {
+	for i := range tags {
+		prev := Tag("")
+		if i > 0 {
+			prev = tags[i-1]
+		}
+		switch {
+		// Rule 1: NN -> VB after "to" (infinitive).
+		case tags[i] == NN && prev == TO:
+			tags[i] = VB
+		// Rule 2: NN -> VB after a modal ("will report").
+		case tags[i] == NN && prev == MD:
+			tags[i] = VB
+		// Rule 3: VBD/VBG -> JJ before a noun ("increased profits",
+		// "operating income"): participle acting as a modifier.
+		case (tags[i] == VBD || tags[i] == VBG) && i+1 < len(tags) && IsNoun(tags[i+1]):
+			tags[i] = JJ
+		// Rule 4: NNS -> VBZ after a pronoun or noun when the next word
+		// is a determiner ("it reports the..."). Conservative version of
+		// Brill's NN->VB PREVTAG PRP.
+		case tags[i] == NNS && prev == PRP:
+			tags[i] = VBZ
+		// Rule 5: VB -> NN after a determiner ("the report").
+		case (tags[i] == VB || tags[i] == VBZ) && prev == DT:
+			tags[i] = NN
+		}
+	}
+	_ = words
+}

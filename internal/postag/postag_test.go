@@ -1,0 +1,141 @@
+package postag
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTagWordLexicon(t *testing.T) {
+	tg := New()
+	cases := map[string]Tag{
+		"the": DT, "of": IN, "wheat": NN, "tonnes": NNS, "will": MD,
+		"said": VBD, "to": TO, "and": CC, "it": PRP, "new": JJ,
+	}
+	for w, want := range cases {
+		if got := tg.TagWord(w); got != want {
+			t.Errorf("TagWord(%q) = %v, want %v", w, got, want)
+		}
+	}
+}
+
+func TestTagWordCaseInsensitive(t *testing.T) {
+	tg := New()
+	if got := tg.TagWord("Wheat"); got != NN {
+		t.Errorf("TagWord(Wheat) = %v, want NN", got)
+	}
+}
+
+func TestSuffixRules(t *testing.T) {
+	tg := New()
+	cases := map[string]Tag{
+		"quickly":         RB,
+		"restructuring":   VBG,
+		"dangerous":       JJ,
+		"profitable":      JJ,
+		"nationalization": NN,
+		"cargoes":         NNS,
+		"business":        NN, // -ss is not a plural
+		"privatized":      VBD,
+		"modernize":       VB,
+		"widgets":         NNS,
+		"blorf":           NN, // unknown defaults to NN
+	}
+	for w, want := range cases {
+		if got := tg.TagWord(w); got != want {
+			t.Errorf("TagWord(%q) = %v, want %v", w, got, want)
+		}
+	}
+}
+
+func TestAddLexiconOverrides(t *testing.T) {
+	tg := New()
+	tg.AddLexicon(map[string]Tag{"Blorf": VB})
+	if got := tg.TagWord("blorf"); got != VB {
+		t.Errorf("override not applied: %v", got)
+	}
+}
+
+func TestContextRuleInfinitive(t *testing.T) {
+	tg := New()
+	tags := tg.Tag([]string{"to", "profit"})
+	if tags[1] != VB {
+		t.Errorf("NN after TO = %v, want VB", tags[1])
+	}
+}
+
+func TestContextRuleModal(t *testing.T) {
+	tg := New()
+	tags := tg.Tag([]string{"will", "profit"})
+	if tags[1] != VB {
+		t.Errorf("NN after MD = %v, want VB", tags[1])
+	}
+}
+
+func TestContextRuleParticipleModifier(t *testing.T) {
+	tg := New()
+	tags := tg.Tag([]string{"increased", "profits"})
+	if tags[0] != JJ {
+		t.Errorf("participle before noun = %v, want JJ", tags[0])
+	}
+	if tags[1] != NNS {
+		t.Errorf("profits = %v, want NNS", tags[1])
+	}
+}
+
+func TestContextRuleDeterminerNoun(t *testing.T) {
+	tg := New()
+	tags := tg.Tag([]string{"the", "report"})
+	if tags[1] != NN {
+		t.Errorf("VB after DT = %v, want NN", tags[1])
+	}
+}
+
+func TestNounsExtraction(t *testing.T) {
+	tg := New()
+	words := []string{"the", "company", "reported", "record", "profits", "in", "wheat", "exports"}
+	got := tg.Nouns(words)
+	want := []string{"company", "record", "profits", "wheat", "exports"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Nouns = %v, want %v", got, want)
+	}
+}
+
+func TestNounsKeepsDuplicates(t *testing.T) {
+	tg := New()
+	got := tg.Nouns([]string{"wheat", "prices", "wheat"})
+	if len(got) != 3 {
+		t.Errorf("Nouns dropped duplicates: %v", got)
+	}
+}
+
+func TestIsNoun(t *testing.T) {
+	if !IsNoun(NN) || !IsNoun(NNS) {
+		t.Error("NN/NNS not recognised as nouns")
+	}
+	for _, tag := range []Tag{VB, JJ, RB, DT, IN} {
+		if IsNoun(tag) {
+			t.Errorf("IsNoun(%v) = true", tag)
+		}
+	}
+}
+
+func TestTagLengthMatches(t *testing.T) {
+	tg := New()
+	f := func(words []string) bool {
+		return len(tg.Tag(words)) == len(words)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTagEmpty(t *testing.T) {
+	tg := New()
+	if tags := tg.Tag(nil); len(tags) != 0 {
+		t.Errorf("Tag(nil) = %v", tags)
+	}
+	if nouns := tg.Nouns(nil); nouns != nil {
+		t.Errorf("Nouns(nil) = %v", nouns)
+	}
+}

@@ -1,0 +1,206 @@
+package reuters
+
+// Top10 lists the ten most frequent Reuters-21578 topics in the paper's
+// Table 4 order.
+var Top10 = []string{
+	"earn", "acq", "money-fx", "grain", "crude",
+	"trade", "interest", "wheat", "ship", "corn",
+}
+
+// modApteCounts gives the approximate ModApte train/test document counts
+// per top-10 category. The synthetic generator scales these.
+var modApteCounts = map[string][2]int{
+	"earn":     {2877, 1087},
+	"acq":      {1650, 719},
+	"money-fx": {538, 179},
+	"grain":    {433, 149},
+	"crude":    {389, 189},
+	"trade":    {369, 117},
+	"interest": {347, 131},
+	"wheat":    {212, 71},
+	"ship":     {197, 89},
+	"corn":     {181, 56},
+}
+
+// categoryVocab holds the topical vocabulary of each category. Words are
+// drawn Zipf-weighted by list position, so the order encodes frequency
+// rank. money-fx and interest deliberately share a large block of words —
+// the paper attributes ProSys's weakness on these two categories to their
+// "heavily overlapped" word co-occurrences.
+var categoryVocab = map[string][]string{
+	"earn": {
+		"profit", "dividend", "shr", "qtr", "net", "revs", "earnings",
+		"income", "quarterly", "payout", "loss", "share", "shares",
+		"record", "avg", "results", "periods", "prior", "gain",
+		"operations", "restated", "audited", "consolidated", "pretax",
+		"margins", "fiscal", "halfyear", "payable", "stockholders",
+		"splits", "adjusted", "extraordinary", "writeoff", "revenue",
+		"book", "cents", "annualized", "interim", "surpassed", "posted",
+	},
+	"acq": {
+		"acquisition", "merger", "takeover", "stake", "tender", "offer",
+		"acquire", "bid", "shareholders", "buyout", "subsidiary",
+		"purchase", "divestiture", "antitrust", "definitive", "agreement",
+		"undisclosed", "terms", "outstanding", "approval", "board",
+		"holdings", "unit", "assets", "transaction", "completes",
+		"letter", "intent", "suitor", "hostile", "friendly", "poison",
+		"pill", "raider", "target", "control", "majority", "minority",
+	},
+	"money-fx": {
+		"currency", "dollar", "yen", "mark", "sterling", "intervention",
+		"exchange", "bundesbank", "liquidity", "dealers", "stabilize",
+		"volatility", "central", "monetary", "fed", "repurchase",
+		"reserves", "deposits", "shortage", "assistance", "forecast",
+		"injection", "francs", "bills", "surplus", "tight", "ease",
+		// Shared money/interest block (overlap is intentional).
+		"rates", "rate", "interbank", "money", "market", "banks",
+		"lending", "discount", "prime", "basis", "points", "treasury",
+		"maturity", "funds", "credit", "tightening", "easing",
+	},
+	"interest": {
+		"interest", "cut", "raise", "percent", "pct", "borrowing",
+		"bank", "yield", "bonds", "securities", "coupon", "bundesbank",
+		"effective", "policy", "inflation", "growth", "stimulus",
+		"federal", "chairman", "committee", "decision", "unchanged",
+		// Shared money/interest block (same words as money-fx).
+		"rates", "rate", "interbank", "money", "market", "banks",
+		"lending", "discount", "prime", "basis", "points", "treasury",
+		"maturity", "funds", "credit", "tightening", "easing",
+	},
+	"grain": {
+		"grain", "tonnes", "crop", "harvest", "export", "agriculture",
+		"usda", "shipment", "sowing", "bushels", "cereals", "silo",
+		"farmers", "acreage", "yields", "subsidy", "stocks", "carryover",
+		"drought", "rainfall", "planting", "soviet", "exporters",
+		"enhancement", "commodity", "elevators", "barge", "delivery",
+		"winter", "spring", "feed", "output", "estimate", "production",
+	},
+	"wheat": {
+		"wheat", "winterkill", "durum", "milling", "hard", "soft",
+		"protein", "kansas", "flour", "bakers", "rust", "bread",
+		// wheat documents are grain documents: heavy reuse.
+		"grain", "tonnes", "crop", "harvest", "export", "usda",
+		"bushels", "farmers", "acreage", "drought", "planting",
+		"stocks", "production", "exporters", "shipment",
+	},
+	"corn": {
+		"corn", "maize", "ethanol", "feedgrains", "silking", "kernels",
+		"iowa", "illinois", "sweeteners", "starch", "gluten", "hybrid",
+		// corn documents are grain documents: heavy reuse.
+		"grain", "tonnes", "crop", "harvest", "export", "usda",
+		"bushels", "farmers", "acreage", "drought", "planting",
+		"stocks", "production", "exporters", "shipment",
+	},
+	"crude": {
+		"crude", "oil", "barrel", "barrels", "opec", "petroleum",
+		"refinery", "output", "bpd", "drilling", "wells", "pipeline",
+		"energy", "gasoline", "posted", "prices", "saudi", "kuwait",
+		"quota", "ceiling", "production", "exploration", "fields",
+		"offshore", "rig", "distillate", "heating", "naphtha", "spot",
+		"cargoes", "sour", "sweet", "benchmark", "mideast", "texas",
+	},
+	"trade": {
+		"trade", "deficit", "surplus", "tariff", "tariffs", "exports",
+		"imports", "sanctions", "protectionism", "gatt", "retaliation",
+		"dumping", "quotas", "bilateral", "negotiations", "washington",
+		"japan", "semiconductor", "dispute", "barriers", "restraints",
+		"pact", "agreement", "practices", "unfair", "legislation",
+		"congress", "representative", "minister", "talks", "friction",
+	},
+	"ship": {
+		"ship", "ships", "shipping", "vessel", "vessels", "port",
+		"ports", "tanker", "tankers", "cargo", "gulf", "strike",
+		"seamen", "dockers", "freight", "tonnage", "hull", "flag",
+		"registry", "convoy", "escort", "mined", "attack", "missile",
+		"iranian", "insurance", "lloyds", "charter", "berth", "loading",
+		"unloading", "congestion", "canal", "strait", "ferry",
+	},
+}
+
+// categoryPhrases holds short word runs characteristic of each category.
+// Phrases give documents the *temporal* co-occurrence structure the
+// paper's classifier is designed to exploit: the same ordered word
+// sub-sequences recur across documents of a category.
+var categoryPhrases = map[string][][]string{
+	"earn": {
+		{"net", "profit", "rose"},
+		{"shr", "cents", "qtr"},
+		{"declares", "quarterly", "dividend"},
+		{"revs", "mln", "avg"},
+		{"net", "loss", "widened"},
+	},
+	"acq": {
+		{"tender", "offer", "shares"},
+		{"definitive", "merger", "agreement"},
+		{"acquire", "outstanding", "shares"},
+		{"undisclosed", "terms", "transaction"},
+		{"raises", "stake", "pct"},
+	},
+	"money-fx": {
+		{"central", "bank", "intervention"},
+		{"dollar", "fell", "yen"},
+		{"money", "market", "shortage"},
+		{"bundesbank", "repurchase", "pact"},
+	},
+	"interest": {
+		{"cut", "discount", "rate"},
+		{"raises", "prime", "rate"},
+		{"interest", "rates", "unchanged"},
+		{"basis", "points", "yield"},
+	},
+	"grain": {
+		{"grain", "exports", "tonnes"},
+		{"crop", "estimate", "lowered"},
+		{"usda", "export", "enhancement"},
+		{"harvest", "weather", "drought"},
+	},
+	"wheat": {
+		{"winter", "wheat", "crop"},
+		{"wheat", "tonnes", "shipment"},
+		{"hard", "wheat", "protein"},
+	},
+	"corn": {
+		{"corn", "crop", "estimate"},
+		{"corn", "acreage", "planting"},
+		{"maize", "tonnes", "export"},
+	},
+	"crude": {
+		{"crude", "oil", "prices"},
+		{"opec", "production", "ceiling"},
+		{"mln", "barrels", "day"},
+		{"posted", "prices", "barrel"},
+	},
+	"trade": {
+		{"trade", "deficit", "narrowed"},
+		{"tariffs", "japanese", "imports"},
+		{"trade", "talks", "washington"},
+		{"unfair", "trade", "practices"},
+	},
+	"ship": {
+		{"gulf", "shipping", "attack"},
+		{"port", "workers", "strike"},
+		{"tanker", "cargo", "loading"},
+		{"vessels", "gulf", "convoy"},
+	},
+}
+
+// generalVocab is the topic-neutral business-news vocabulary mixed into
+// every document (Zipf-weighted by position).
+var generalVocab = []string{
+	"company", "year", "market", "government", "week", "month", "prices",
+	"statement", "analysts", "sources", "officials", "spokesman",
+	"president", "chairman", "executive", "report", "figures", "level",
+	"total", "compared", "earlier", "expected", "announced", "according",
+	"added", "told", "yesterday", "today", "major", "group",
+	"international", "national", "foreign", "domestic", "economic",
+	"economy", "financial", "industry", "industrial", "commercial",
+	"business", "meeting", "conference", "decision", "effect", "impact",
+	"situation", "position", "increase", "decrease", "decline", "fall",
+	"rise", "change", "growth", "demand", "supply", "costs", "value",
+	"volume", "amount", "number", "time", "period", "end", "start",
+	"high", "low", "strong", "weak", "new", "recent", "current", "late",
+	"early", "likely", "possible", "continued", "remains", "making",
+	"comment", "basis", "terms", "view", "outlook", "pressure",
+	"concern", "confidence", "support", "moves", "action", "plans",
+	"program", "policy", "measures", "review", "data", "estimates",
+}

@@ -1,0 +1,30 @@
+package reuters
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSGML checks the parser never panics and only errors on
+// truncated documents.
+func FuzzParseSGML(f *testing.F) {
+	f.Add(`<REUTERS TOPICS="YES" LEWISSPLIT="TRAIN" NEWID="1"><TOPICS><D>earn</D></TOPICS><TITLE>t</TITLE><BODY>b</BODY></REUTERS>`)
+	f.Add(`<REUTERS`)
+	f.Add(`no sgml at all`)
+	f.Add(`<REUTERS TOPICS="NO" NEWID="2"></REUTERS><REUTERS NEWID="3"></REUTERS>`)
+	f.Add(`<REUTERS><TOPICS><D></D><D>x</D></TOPICS><BODY>&#3;</BODY></REUTERS>`)
+	f.Fuzz(func(t *testing.T, src string) {
+		docs, err := ParseSGML(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		for _, d := range docs {
+			// Topics never contain markup.
+			for _, topic := range d.Topics {
+				if strings.ContainsAny(topic, "<>") {
+					t.Fatalf("topic %q contains markup", topic)
+				}
+			}
+		}
+	})
+}

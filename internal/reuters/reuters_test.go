@@ -1,0 +1,362 @@
+package reuters
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"temporaldoc/internal/textproc"
+)
+
+func smallCfg() GenConfig {
+	cfg := DefaultGenConfig()
+	cfg.Scale = 0.02
+	return cfg
+}
+
+func TestGenerateCorpusValidates(t *testing.T) {
+	c, err := GenerateCorpus(smallCfg())
+	if err != nil {
+		t.Fatalf("GenerateCorpus: %v", err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !reflect.DeepEqual(c.Categories, Top10) {
+		t.Errorf("Categories = %v", c.Categories)
+	}
+}
+
+func TestGenerateCorpusDeterministic(t *testing.T) {
+	a, err := GenerateCorpus(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCorpus(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same config produced different corpora")
+	}
+	cfg := smallCfg()
+	cfg.Seed = 42
+	d, err := GenerateCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Train[0].Words, d.Train[0].Words) {
+		t.Error("different seeds produced identical first document")
+	}
+}
+
+func TestGenerateCorpusCategorySkew(t *testing.T) {
+	c, err := GenerateCorpus(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := c.CategoryCounts()
+	// earn must dominate, as in ModApte.
+	if counts["earn"][0] <= counts["corn"][0] {
+		t.Errorf("earn (%d) not larger than corn (%d)", counts["earn"][0], counts["corn"][0])
+	}
+	for _, cat := range Top10 {
+		if counts[cat][0] == 0 || counts[cat][1] == 0 {
+			t.Errorf("category %s has empty split: %v", cat, counts[cat])
+		}
+	}
+}
+
+func TestGenerateCorpusMultiLabelStructure(t *testing.T) {
+	c, err := GenerateCorpus(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wheatAlsoGrain, cornAlsoGrain := true, true
+	anyWheat, anyCorn := false, false
+	for _, d := range c.Train {
+		if d.HasCategory("wheat") {
+			anyWheat = true
+			wheatAlsoGrain = wheatAlsoGrain && d.HasCategory("grain")
+		}
+		if d.HasCategory("corn") {
+			anyCorn = true
+			cornAlsoGrain = cornAlsoGrain && d.HasCategory("grain")
+		}
+	}
+	if !anyWheat || !anyCorn {
+		t.Fatal("no wheat/corn documents generated")
+	}
+	if !wheatAlsoGrain || !cornAlsoGrain {
+		t.Error("wheat/corn documents missing grain label")
+	}
+}
+
+func TestGenerateCorpusVocabularyOverlap(t *testing.T) {
+	// money-fx and interest must share substantial vocabulary (the paper
+	// attributes ProSys's weakness on these categories to this overlap).
+	c, err := GenerateCorpus(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vocabOf := func(cat string) map[string]bool {
+		m := make(map[string]bool)
+		for _, d := range c.TrainFor(cat) {
+			if len(d.Categories) > 1 {
+				continue // only single-label docs for a clean measure
+			}
+			for _, w := range d.Words {
+				m[w] = true
+			}
+		}
+		return m
+	}
+	money, interest := vocabOf("money-fx"), vocabOf("interest")
+	shared := 0
+	for w := range money {
+		if interest[w] {
+			shared++
+		}
+	}
+	if len(money) == 0 || float64(shared)/float64(len(money)) < 0.3 {
+		t.Errorf("money-fx/interest overlap too small: %d shared of %d", shared, len(money))
+	}
+}
+
+func TestGeneratedWordsAreCleanTokens(t *testing.T) {
+	c, err := GenerateCorpus(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range append(c.Train, c.Test...) {
+		if len(d.Words) == 0 {
+			t.Fatalf("document %s empty", d.ID)
+		}
+		for _, w := range d.Words {
+			if textproc.IsStopWord(w) {
+				t.Fatalf("document %s contains stop word %q", d.ID, w)
+			}
+			for i := 0; i < len(w); i++ {
+				if w[i] < 'a' || w[i] > 'z' {
+					t.Fatalf("document %s word %q not clean", d.ID, w)
+				}
+			}
+		}
+	}
+}
+
+func TestVocabListsAvoidStopWords(t *testing.T) {
+	check := func(origin string, words []string) {
+		for _, w := range words {
+			if textproc.IsStopWord(w) {
+				t.Errorf("%s vocabulary contains stop word %q", origin, w)
+			}
+		}
+	}
+	check("general", generalVocab)
+	for cat, words := range categoryVocab {
+		check(cat, words)
+	}
+	for cat, phrases := range categoryPhrases {
+		for _, p := range phrases {
+			check(cat+" phrase", p)
+		}
+	}
+}
+
+func TestPhrasesRecurAcrossDocuments(t *testing.T) {
+	// The temporal signal: a category's phrase word-runs must appear in
+	// many of its documents, in order.
+	c, err := GenerateCorpus(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	phrase := categoryPhrases["earn"][0]
+	found := 0
+	for _, d := range c.TrainFor("earn") {
+		if containsRun(d.Words, phrase) {
+			found++
+		}
+	}
+	earnDocs := len(c.TrainFor("earn"))
+	if found < earnDocs/4 {
+		t.Errorf("phrase %v found in %d/%d earn docs", phrase, found, earnDocs)
+	}
+}
+
+func containsRun(words, run []string) bool {
+	for i := 0; i+len(run) <= len(words); i++ {
+		match := true
+		for j := range run {
+			if words[i+j] != run[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+func TestZipfTableSkew(t *testing.T) {
+	tab := newZipfTable([]string{"a", "b", "c", "d", "e", "f", "g", "h"})
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[tab.draw(rng)]++
+	}
+	if counts["a"] <= counts["h"] {
+		t.Errorf("Zipf skew missing: a=%d h=%d", counts["a"], counts["h"])
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 10000 {
+		t.Errorf("draws lost: %d", total)
+	}
+}
+
+func TestSGMLRoundTrip(t *testing.T) {
+	orig, err := GenerateCorpus(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := RenderSGML(&b, orig, 7); err != nil {
+		t.Fatalf("RenderSGML: %v", err)
+	}
+	raws, err := ParseSGML(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParseSGML: %v", err)
+	}
+	if len(raws) != len(orig.Train)+len(orig.Test) {
+		t.Fatalf("parsed %d docs, want %d", len(raws), len(orig.Train)+len(orig.Test))
+	}
+	rebuilt := BuildCorpus(raws, Top10, textproc.NewPreprocessor(textproc.Options{}))
+	if len(rebuilt.Train) != len(orig.Train) || len(rebuilt.Test) != len(orig.Test) {
+		t.Fatalf("rebuilt splits %d/%d, want %d/%d",
+			len(rebuilt.Train), len(rebuilt.Test), len(orig.Train), len(orig.Test))
+	}
+	for i := range orig.Train {
+		if !reflect.DeepEqual(rebuilt.Train[i].Words, orig.Train[i].Words) {
+			t.Fatalf("train doc %d words changed:\n got %v\nwant %v",
+				i, rebuilt.Train[i].Words, orig.Train[i].Words)
+		}
+		if !reflect.DeepEqual(rebuilt.Train[i].Categories, orig.Train[i].Categories) {
+			t.Fatalf("train doc %d labels changed", i)
+		}
+	}
+}
+
+func TestParseSGMLAttributes(t *testing.T) {
+	src := `<!DOCTYPE lewis SYSTEM "lewis.dtd">
+<REUTERS TOPICS="YES" LEWISSPLIT="TRAIN" CGISPLIT="TRAINING-SET" OLDID="5545" NEWID="17">
+<DATE>26-FEB-1987</DATE>
+<TOPICS><D>grain</D><D>wheat</D></TOPICS>
+<TITLE>GRAIN SHIPS WAITING</TITLE>
+<BODY>Wheat cargo loading continued. Reuter &#3;</BODY>
+</REUTERS>`
+	docs, err := ParseSGML(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1 {
+		t.Fatalf("parsed %d docs", len(docs))
+	}
+	d := docs[0]
+	if d.NewID != "17" || d.Split != "TRAIN" || !d.HasTopics {
+		t.Errorf("attributes: %+v", d)
+	}
+	if !reflect.DeepEqual(d.Topics, []string{"grain", "wheat"}) {
+		t.Errorf("topics: %v", d.Topics)
+	}
+	if d.Title != "GRAIN SHIPS WAITING" {
+		t.Errorf("title: %q", d.Title)
+	}
+	if !strings.Contains(d.Body, "Wheat cargo") {
+		t.Errorf("body: %q", d.Body)
+	}
+}
+
+func TestParseSGMLTruncated(t *testing.T) {
+	if _, err := ParseSGML(strings.NewReader(`<REUTERS TOPICS="YES" NEWID="1"><BODY>x`)); err == nil {
+		t.Error("truncated document accepted")
+	}
+}
+
+func TestParseSGMLEmptyAndNoDocs(t *testing.T) {
+	docs, err := ParseSGML(strings.NewReader("no sgml here"))
+	if err != nil || len(docs) != 0 {
+		t.Errorf("ParseSGML(plain text) = %v, %v", docs, err)
+	}
+}
+
+func TestBuildCorpusModApteDiscipline(t *testing.T) {
+	pre := textproc.NewPreprocessor(textproc.Options{})
+	raws := []RawDocument{
+		{NewID: "1", Split: "TRAIN", HasTopics: true, Topics: []string{"earn"}, Body: "profit rose"},
+		{NewID: "2", Split: "TEST", HasTopics: true, Topics: []string{"earn"}, Body: "dividend declared"},
+		{NewID: "3", Split: "NOT-USED", HasTopics: true, Topics: []string{"earn"}, Body: "skip me"},
+		{NewID: "4", Split: "TRAIN", HasTopics: false, Topics: []string{"earn"}, Body: "skip me"},
+		{NewID: "5", Split: "TRAIN", HasTopics: true, Topics: []string{"obscure-topic"}, Body: "skip me"},
+		{NewID: "6", Split: "TRAIN", HasTopics: true, Topics: []string{"earn", "obscure-topic"}, Body: "keep earn only"},
+	}
+	c := BuildCorpus(raws, []string{"earn"}, pre)
+	if len(c.Train) != 2 || len(c.Test) != 1 {
+		t.Fatalf("splits %d/%d, want 2/1", len(c.Train), len(c.Test))
+	}
+	if !reflect.DeepEqual(c.Train[1].Categories, []string{"earn"}) {
+		t.Errorf("off-inventory label kept: %v", c.Train[1].Categories)
+	}
+}
+
+func TestGenConfigDefaultsApplied(t *testing.T) {
+	c, err := GenerateCorpus(GenConfig{Scale: 0.02})
+	if err != nil {
+		t.Fatalf("zero-value config rejected: %v", err)
+	}
+	if len(c.Train) == 0 {
+		t.Error("no documents generated")
+	}
+}
+
+func TestScaledCountsTrackModApte(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Scale = 0.1
+	c, err := GenerateCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := c.CategoryCounts()
+	// earn train at scale 0.1 ~ 288 docs (some slack for rounding).
+	if got := counts["earn"][0]; got < 250 || got > 330 {
+		t.Errorf("earn train count = %d, want ~288", got)
+	}
+	// grain includes wheat and corn documents.
+	if counts["grain"][0] < counts["wheat"][0]+counts["corn"][0] {
+		t.Errorf("grain (%d) < wheat (%d) + corn (%d)",
+			counts["grain"][0], counts["wheat"][0], counts["corn"][0])
+	}
+}
+
+func TestMultiLabelMoneyInterest(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Scale = 0.1
+	c, err := GenerateCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := 0
+	for _, d := range c.Train {
+		if d.HasCategory("money-fx") && d.HasCategory("interest") {
+			both++
+		}
+	}
+	if both == 0 {
+		t.Error("no money-fx+interest multi-label documents")
+	}
+}

@@ -1,0 +1,203 @@
+package reuters
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"temporaldoc/internal/corpus"
+	"temporaldoc/internal/textproc"
+)
+
+// RawDocument is one <REUTERS> element of the Reuters-21578 SGML
+// distribution, before pre-processing.
+type RawDocument struct {
+	// NewID is the NEWID attribute.
+	NewID string
+	// Split is the LEWISSPLIT attribute: TRAIN, TEST or NOT-USED.
+	Split string
+	// HasTopics reports the TOPICS="YES" attribute (ModApte requires it).
+	HasTopics bool
+	// Topics lists the <D> entries of the <TOPICS> element.
+	Topics []string
+	// Title is the raw <TITLE> text.
+	Title string
+	// Body is the raw <BODY> text, markup included.
+	Body string
+}
+
+// ParseSGML reads a Reuters-21578 .sgm stream and returns its documents.
+// The parser is a tolerant scanner: unknown elements are skipped, and a
+// truncated trailing document yields an error.
+func ParseSGML(r io.Reader) ([]RawDocument, error) {
+	br := bufio.NewReader(r)
+	data, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("reuters: read sgml: %w", err)
+	}
+	text := string(data)
+	var docs []RawDocument
+	for {
+		start := strings.Index(text, "<REUTERS")
+		if start < 0 {
+			break
+		}
+		text = text[start:]
+		end := strings.Index(text, "</REUTERS>")
+		if end < 0 {
+			return docs, fmt.Errorf("reuters: truncated document after %d parsed", len(docs))
+		}
+		elem := text[:end]
+		text = text[end+len("</REUTERS>"):]
+
+		var doc RawDocument
+		headEnd := strings.Index(elem, ">")
+		if headEnd < 0 {
+			return docs, fmt.Errorf("reuters: malformed REUTERS open tag")
+		}
+		head := elem[:headEnd]
+		doc.NewID = attr(head, "NEWID")
+		doc.Split = attr(head, "LEWISSPLIT")
+		doc.HasTopics = attr(head, "TOPICS") == "YES"
+		rest := elem[headEnd+1:]
+		if topicsBlock, ok := between(rest, "<TOPICS>", "</TOPICS>"); ok {
+			doc.Topics = parseDList(topicsBlock)
+		}
+		if title, ok := between(rest, "<TITLE>", "</TITLE>"); ok {
+			doc.Title = strings.TrimSpace(title)
+		}
+		if body, ok := between(rest, "<BODY>", "</BODY>"); ok {
+			doc.Body = body
+		}
+		docs = append(docs, doc)
+	}
+	return docs, nil
+}
+
+// attr extracts ATTR="value" from an SGML open tag.
+func attr(head, name string) string {
+	marker := name + "=\""
+	i := strings.Index(head, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := head[i+len(marker):]
+	j := strings.Index(rest, "\"")
+	if j < 0 {
+		return ""
+	}
+	return rest[:j]
+}
+
+func between(s, open, close string) (string, bool) {
+	i := strings.Index(s, open)
+	if i < 0 {
+		return "", false
+	}
+	rest := s[i+len(open):]
+	j := strings.Index(rest, close)
+	if j < 0 {
+		return "", false
+	}
+	return rest[:j], true
+}
+
+// parseDList extracts the <D>...</D> entries of a TOPICS block.
+func parseDList(block string) []string {
+	var out []string
+	for {
+		entry, ok := between(block, "<D>", "</D>")
+		if !ok {
+			return out
+		}
+		out = append(out, strings.TrimSpace(entry))
+		block = block[strings.Index(block, "</D>")+len("</D>"):]
+	}
+}
+
+// BuildCorpus applies the ModApte discipline to parsed documents:
+// LEWISSPLIT=TRAIN with TOPICS=YES goes to the training split,
+// LEWISSPLIT=TEST with TOPICS=YES to the test split, everything else is
+// dropped; only the given categories are kept as labels, and documents
+// left with no label are dropped. Bodies run through the pre-processor.
+func BuildCorpus(raws []RawDocument, categories []string, pre *textproc.Preprocessor) *corpus.Corpus {
+	keep := make(map[string]bool, len(categories))
+	for _, c := range categories {
+		keep[c] = true
+	}
+	out := &corpus.Corpus{Categories: append([]string(nil), categories...)}
+	for _, raw := range raws {
+		if !raw.HasTopics {
+			continue
+		}
+		var labels []string
+		for _, t := range raw.Topics {
+			if keep[t] {
+				labels = append(labels, t)
+			}
+		}
+		if len(labels) == 0 {
+			continue
+		}
+		doc := corpus.Document{
+			ID:         "reut-" + raw.NewID,
+			Title:      raw.Title,
+			Words:      pre.Process(raw.Body),
+			Categories: labels,
+		}
+		switch raw.Split {
+		case "TRAIN":
+			out.Train = append(out.Train, doc)
+		case "TEST":
+			out.Test = append(out.Test, doc)
+		}
+	}
+	return out
+}
+
+// RenderSGML writes the corpus in Reuters-21578 SGML form, decorating
+// each body with markup noise (digits, punctuation, stop words) that the
+// pre-processing stage is expected to remove. Round-tripping a corpus
+// through RenderSGML -> ParseSGML -> BuildCorpus reproduces the original
+// word sequences, which the tests rely on.
+func RenderSGML(w io.Writer, c *corpus.Corpus, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	write := func(split string, docs []corpus.Document) error {
+		for i := range docs {
+			if err := renderDoc(w, &docs[i], split, rng); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write("TRAIN", c.Train); err != nil {
+		return err
+	}
+	return write("TEST", c.Test)
+}
+
+var sgmlNoise = []string{"the", "of", "and", "to", "in", "said", "12.5", "1987", "3,000", ",", "."}
+
+func renderDoc(w io.Writer, d *corpus.Document, split string, rng *rand.Rand) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<REUTERS TOPICS=\"YES\" LEWISSPLIT=\"%s\" NEWID=\"%s\">\n", split, d.ID)
+	b.WriteString("<DATE>26-FEB-1987 15:01:01.79</DATE>\n<TOPICS>")
+	for _, t := range d.Categories {
+		fmt.Fprintf(&b, "<D>%s</D>", t)
+	}
+	b.WriteString("</TOPICS>\n")
+	fmt.Fprintf(&b, "<TITLE>%s</TITLE>\n<BODY>", d.Title)
+	for i, word := range d.Words {
+		if i > 0 && rng.Intn(4) == 0 {
+			b.WriteString(sgmlNoise[rng.Intn(len(sgmlNoise))])
+			b.WriteByte(' ')
+		}
+		b.WriteString(word)
+		b.WriteByte(' ')
+	}
+	b.WriteString("Reuter &#3;</BODY>\n</REUTERS>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,169 @@
+package som
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestTrainBatchRejectsBadInputs(t *testing.T) {
+	m := mustNew(t, baseCfg())
+	if err := m.TrainBatch(nil); err == nil {
+		t.Error("empty inputs accepted")
+	}
+	if err := m.TrainBatch([][]float64{{1}}); err == nil {
+		t.Error("wrong dimension accepted")
+	}
+}
+
+func TestTrainBatchSeparatesClusters(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Width, cfg.Height = 6, 6
+	cfg.Epochs = 15
+	m := mustNew(t, cfg)
+	rng := rand.New(rand.NewSource(7))
+	var inputs [][]float64
+	for i := 0; i < 60; i++ {
+		inputs = append(inputs, []float64{rng.Float64() * 0.1, rng.Float64() * 0.1})
+		inputs = append(inputs, []float64{0.9 + rng.Float64()*0.1, 0.9 + rng.Float64()*0.1})
+	}
+	if err := m.TrainBatch(inputs); err != nil {
+		t.Fatal(err)
+	}
+	a := m.BMU([]float64{0.05, 0.05})
+	b := m.BMU([]float64{0.95, 0.95})
+	if a == b {
+		t.Fatal("clusters share a BMU after batch training")
+	}
+	if qe := m.QuantizationError(inputs); qe > 0.3 {
+		t.Errorf("quantization error %v", qe)
+	}
+}
+
+func TestTrainBatchOrderInvariant(t *testing.T) {
+	// The defining property of batch training: presentation order does
+	// not matter.
+	rng := rand.New(rand.NewSource(9))
+	var inputs [][]float64
+	for i := 0; i < 50; i++ {
+		inputs = append(inputs, []float64{rng.Float64(), rng.Float64()})
+	}
+	reversed := make([][]float64, len(inputs))
+	for i := range inputs {
+		reversed[len(inputs)-1-i] = inputs[i]
+	}
+	cfg := baseCfg()
+	cfg.Epochs = 8
+	m1, m2 := mustNew(t, cfg), mustNew(t, cfg)
+	if err := m1.TrainBatch(inputs); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.TrainBatch(reversed); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < m1.Units(); u++ {
+		a, b := m1.Weights(u), m2.Weights(u)
+		for d := range a {
+			if math.Abs(a[d]-b[d]) > 1e-9 {
+				t.Fatalf("unit %d differs under reordering: %v vs %v", u, a, b)
+			}
+		}
+	}
+}
+
+func TestTrainBatchRecordsAWC(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Epochs = 10
+	m := mustNew(t, cfg)
+	rng := rand.New(rand.NewSource(3))
+	var inputs [][]float64
+	for i := 0; i < 40; i++ {
+		inputs = append(inputs, []float64{rng.Float64(), rng.Float64()})
+	}
+	if err := m.TrainBatch(inputs); err != nil {
+		t.Fatal(err)
+	}
+	awc := m.AWC()
+	if len(awc) != cfg.Epochs {
+		t.Fatalf("AWC length %d", len(awc))
+	}
+	if awc[len(awc)-1] >= awc[0] {
+		t.Errorf("batch AWC did not decrease: %v -> %v", awc[0], awc[len(awc)-1])
+	}
+}
+
+func TestUMatrixShapeAndBoundary(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Width, cfg.Height = 6, 6
+	cfg.Epochs = 15
+	m := mustNew(t, cfg)
+	rng := rand.New(rand.NewSource(7))
+	var inputs [][]float64
+	for i := 0; i < 80; i++ {
+		inputs = append(inputs, []float64{rng.Float64() * 0.05, rng.Float64() * 0.05})
+		inputs = append(inputs, []float64{0.95 + rng.Float64()*0.05, 0.95 + rng.Float64()*0.05})
+	}
+	if err := m.TrainBatch(inputs); err != nil {
+		t.Fatal(err)
+	}
+	um := m.UMatrix()
+	if len(um) != m.Units() {
+		t.Fatalf("U-matrix length %d", len(um))
+	}
+	// The boundary between the two clusters must contain larger
+	// distances than the cluster interiors.
+	aBMU := m.BMU([]float64{0.02, 0.02})
+	var maxUM float64
+	for _, v := range um {
+		if v > maxUM {
+			maxUM = v
+		}
+	}
+	if um[aBMU] >= maxUM {
+		t.Errorf("cluster interior has the maximal U-matrix value")
+	}
+}
+
+func TestRenderUMatrix(t *testing.T) {
+	m := mustNew(t, baseCfg())
+	out := m.RenderUMatrix()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	for _, line := range lines {
+		if len(line) != 4 {
+			t.Fatalf("row width %d: %q", len(line), line)
+		}
+	}
+}
+
+func TestBatchAndOnlineAgreeOnStructure(t *testing.T) {
+	// Both training rules must discover the same 2-cluster structure
+	// (identical BMU separation), even though exact weights differ.
+	rng := rand.New(rand.NewSource(12))
+	var inputs [][]float64
+	for i := 0; i < 60; i++ {
+		inputs = append(inputs, []float64{rng.Float64() * 0.1, 0})
+		inputs = append(inputs, []float64{0.9 + rng.Float64()*0.1, 1})
+	}
+	cfg := baseCfg()
+	cfg.Epochs = 15
+	online, batch := mustNew(t, cfg), mustNew(t, cfg)
+	if err := online.Train(inputs); err != nil {
+		t.Fatal(err)
+	}
+	if err := batch.TrainBatch(inputs); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*Map{online, batch} {
+		if m.BMU([]float64{0.05, 0}) == m.BMU([]float64{0.95, 1}) {
+			t.Error("a training rule failed to separate the clusters")
+		}
+	}
+	if !reflect.DeepEqual(online.Config(), batch.Config()) {
+		t.Error("configs diverged")
+	}
+}

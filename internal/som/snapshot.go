@@ -1,0 +1,46 @@
+package som
+
+import "fmt"
+
+// Snapshot is the serialisable state of a trained map.
+type Snapshot struct {
+	Config  Config      `json:"config"`
+	Weights [][]float64 `json:"weights"`
+	AWC     []float64   `json:"awc,omitempty"`
+}
+
+// Snapshot captures the map state for persistence.
+func (m *Map) Snapshot() Snapshot {
+	s := Snapshot{
+		Config:  m.cfg,
+		Weights: make([][]float64, len(m.weights)),
+		AWC:     append([]float64(nil), m.awc...),
+	}
+	for u, w := range m.weights {
+		s.Weights[u] = append([]float64(nil), w...)
+	}
+	return s
+}
+
+// FromSnapshot reconstructs a map from persisted state.
+func FromSnapshot(s Snapshot) (*Map, error) {
+	if err := s.Config.validate(); err != nil {
+		return nil, err
+	}
+	units := s.Config.Width * s.Config.Height
+	if len(s.Weights) != units {
+		return nil, fmt.Errorf("som: snapshot has %d weight vectors, want %d", len(s.Weights), units)
+	}
+	weights := make([][]float64, units)
+	for u, w := range s.Weights {
+		if len(w) != s.Config.Dim {
+			return nil, fmt.Errorf("som: snapshot unit %d has dim %d, want %d", u, len(w), s.Config.Dim)
+		}
+		weights[u] = append([]float64(nil), w...)
+	}
+	return &Map{
+		cfg:     s.Config,
+		weights: weights,
+		awc:     append([]float64(nil), s.AWC...),
+	}, nil
+}

@@ -1,0 +1,302 @@
+// Package som implements the Self-Organizing Feature Map used by both
+// levels of the paper's hierarchical encoding architecture.
+//
+// The implementation is the classic online (incremental) SOM of Kohonen:
+// a rectangular grid of units, each holding a weight vector of the input
+// dimension; for every presented input the best-matching unit (BMU) is
+// found by Euclidean distance and the BMU together with its neighbourhood
+// is pulled towards the input. The neighbourhood kernel is Gaussian — the
+// paper depends on this for the Gaussian membership functions built on
+// top of trained maps (section 6.2).
+//
+// Training is deterministic for a fixed Config.Seed, which the rest of
+// the system relies on for reproducible experiments.
+package som
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config parameterises map construction and training.
+type Config struct {
+	// Width and Height give the grid dimensions (units = Width*Height).
+	Width, Height int
+	// Dim is the input/weight vector dimension.
+	Dim int
+	// Epochs is the number of passes over the training inputs.
+	Epochs int
+	// InitialLearningRate is the learning rate at t=0; it decays linearly
+	// to FinalLearningRate over training.
+	InitialLearningRate float64
+	// FinalLearningRate is the learning rate at the final step.
+	FinalLearningRate float64
+	// InitialRadius is the Gaussian neighbourhood radius at t=0; it decays
+	// exponentially to ~1 over training. Zero means max(Width,Height)/2.
+	InitialRadius float64
+	// Seed seeds weight initialisation and input shuffling.
+	Seed int64
+	// Shuffle controls whether inputs are presented in random order each
+	// epoch. The paper presents words "in the same order" as the corpus,
+	// so the hierarchical encoder disables shuffling.
+	Shuffle bool
+}
+
+func (c Config) validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("som: grid %dx%d must be positive", c.Width, c.Height)
+	}
+	if c.Dim <= 0 {
+		return fmt.Errorf("som: dimension %d must be positive", c.Dim)
+	}
+	if c.Epochs <= 0 {
+		return fmt.Errorf("som: epochs %d must be positive", c.Epochs)
+	}
+	if c.InitialLearningRate <= 0 {
+		return errors.New("som: initial learning rate must be positive")
+	}
+	return nil
+}
+
+// Map is a trained (or in-training) self-organizing map.
+type Map struct {
+	cfg     Config
+	weights [][]float64 // [unit][dim]
+	awc     []float64   // average weight change per epoch, recorded by Train
+}
+
+// New creates a map with random initial weights in [0,1) scaled by
+// initScale (use the input data range). Returns an error on a bad config.
+func New(cfg Config, initScale float64) (*Map, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.InitialRadius <= 0 {
+		cfg.InitialRadius = math.Max(float64(cfg.Width), float64(cfg.Height)) / 2
+	}
+	if cfg.FinalLearningRate <= 0 {
+		cfg.FinalLearningRate = 0.01
+	}
+	if initScale <= 0 {
+		initScale = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	units := cfg.Width * cfg.Height
+	weights := make([][]float64, units)
+	backing := make([]float64, units*cfg.Dim)
+	for u := range weights {
+		weights[u], backing = backing[:cfg.Dim], backing[cfg.Dim:]
+		for d := range weights[u] {
+			weights[u][d] = rng.Float64() * initScale
+		}
+	}
+	return &Map{cfg: cfg, weights: weights}, nil
+}
+
+// Config returns the configuration the map was built with (radius and
+// final learning rate defaults resolved).
+func (m *Map) Config() Config { return m.cfg }
+
+// Units returns the number of units on the map (Width*Height).
+func (m *Map) Units() int { return len(m.weights) }
+
+// Dim returns the weight vector dimension.
+func (m *Map) Dim() int { return m.cfg.Dim }
+
+// Weights returns the weight vector of unit u. The returned slice aliases
+// the map's storage; callers must not modify it.
+func (m *Map) Weights(u int) []float64 { return m.weights[u] }
+
+// Coords returns the (column, row) grid position of unit u.
+func (m *Map) Coords(u int) (x, y int) {
+	return u % m.cfg.Width, u / m.cfg.Width
+}
+
+// UnitAt returns the unit index at grid position (x, y).
+func (m *Map) UnitAt(x, y int) int { return y*m.cfg.Width + x }
+
+// gridDist2 is the squared Euclidean distance between two units on the grid.
+func (m *Map) gridDist2(a, b int) float64 {
+	ax, ay := m.Coords(a)
+	bx, by := m.Coords(b)
+	dx, dy := float64(ax-bx), float64(ay-by)
+	return dx*dx + dy*dy
+}
+
+// dist2 is the squared Euclidean distance between input x and unit u's
+// weight vector.
+func (m *Map) dist2(x []float64, u int) float64 {
+	var sum float64
+	w := m.weights[u]
+	for d := range w {
+		diff := x[d] - w[d]
+		sum += diff * diff
+	}
+	return sum
+}
+
+// BMU returns the best-matching unit for input x: the unit whose weight
+// vector has the smallest Euclidean distance to x. Ties break towards the
+// lower unit index, keeping results deterministic.
+func (m *Map) BMU(x []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for u := range m.weights {
+		if d := m.dist2(x, u); d < bestD {
+			best, bestD = u, d
+		}
+	}
+	return best
+}
+
+// NearestK returns the k units closest to input x in weight space,
+// ordered from nearest to farthest (the paper's "k most affected BMUs").
+// If k exceeds the unit count, all units are returned.
+func (m *Map) NearestK(x []float64, k int) []int {
+	if k > len(m.weights) {
+		k = len(m.weights)
+	}
+	if k <= 0 {
+		return nil
+	}
+	// Selection over a small fixed k — maps here are at most 8x13 units.
+	type cand struct {
+		u int
+		d float64
+	}
+	best := make([]cand, 0, k)
+	for u := range m.weights {
+		d := m.dist2(x, u)
+		if len(best) < k {
+			best = append(best, cand{u, d})
+			for i := len(best) - 1; i > 0 && best[i].d < best[i-1].d; i-- {
+				best[i], best[i-1] = best[i-1], best[i]
+			}
+			continue
+		}
+		if d < best[k-1].d {
+			best[k-1] = cand{u, d}
+			for i := k - 1; i > 0 && best[i].d < best[i-1].d; i-- {
+				best[i], best[i-1] = best[i-1], best[i]
+			}
+		}
+	}
+	out := make([]int, len(best))
+	for i, c := range best {
+		out[i] = c.u
+	}
+	return out
+}
+
+// Train runs online SOM training over the inputs for the configured
+// number of epochs, recording the average weight change (AWC) per epoch.
+// Every input must have dimension Config.Dim.
+func (m *Map) Train(inputs [][]float64) error {
+	if len(inputs) == 0 {
+		return errors.New("som: no training inputs")
+	}
+	for i, x := range inputs {
+		if len(x) != m.cfg.Dim {
+			return fmt.Errorf("som: input %d has dim %d, want %d", i, len(x), m.cfg.Dim)
+		}
+	}
+	rng := rand.New(rand.NewSource(m.cfg.Seed + 1))
+	order := make([]int, len(inputs))
+	for i := range order {
+		order[i] = i
+	}
+	totalSteps := m.cfg.Epochs * len(inputs)
+	// Exponential radius decay time constant so radius reaches ~1 at end.
+	lambda := float64(totalSteps) / math.Max(math.Log(m.cfg.InitialRadius), 1e-9)
+	step := 0
+	m.awc = m.awc[:0]
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		if m.cfg.Shuffle {
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		var change float64
+		var updates int
+		for _, idx := range order {
+			x := inputs[idx]
+			t := float64(step) / float64(totalSteps)
+			lr := m.cfg.InitialLearningRate + t*(m.cfg.FinalLearningRate-m.cfg.InitialLearningRate)
+			radius := m.cfg.InitialRadius * math.Exp(-float64(step)/lambda)
+			if radius < 0.5 {
+				radius = 0.5
+			}
+			bmu := m.BMU(x)
+			r2 := radius * radius
+			for u := range m.weights {
+				g2 := m.gridDist2(u, bmu)
+				// Cut the neighbourhood at 3 radii: beyond that the
+				// Gaussian factor is negligible.
+				if g2 > 9*r2 {
+					continue
+				}
+				h := math.Exp(-g2 / (2 * r2))
+				w := m.weights[u]
+				for d := range w {
+					delta := lr * h * (x[d] - w[d])
+					w[d] += delta
+					change += math.Abs(delta)
+					updates++
+				}
+			}
+			step++
+		}
+		if updates > 0 {
+			m.awc = append(m.awc, change/float64(updates))
+		} else {
+			m.awc = append(m.awc, 0)
+		}
+	}
+	return nil
+}
+
+// AWC returns the average weight change recorded for each training epoch.
+// The paper uses AWC curves to choose map sizes (7x13 and 8x8).
+func (m *Map) AWC() []float64 { return append([]float64(nil), m.awc...) }
+
+// QuantizationError returns the mean distance between each input and its
+// BMU's weight vector — a standard goodness-of-fit diagnostic.
+func (m *Map) QuantizationError(inputs [][]float64) float64 {
+	if len(inputs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range inputs {
+		sum += math.Sqrt(m.dist2(x, m.BMU(x)))
+	}
+	return sum / float64(len(inputs))
+}
+
+// TopographicError returns the fraction of inputs whose first and second
+// BMUs are not grid neighbours — a standard topology-preservation
+// diagnostic.
+func (m *Map) TopographicError(inputs [][]float64) float64 {
+	if len(inputs) == 0 {
+		return 0
+	}
+	bad := 0
+	for _, x := range inputs {
+		nk := m.NearestK(x, 2)
+		if len(nk) < 2 {
+			continue
+		}
+		if m.gridDist2(nk[0], nk[1]) > 2 { // not in the 8-neighbourhood
+			bad++
+		}
+	}
+	return float64(bad) / float64(len(inputs))
+}
+
+// HitHistogram counts, for each unit, how many of the inputs select it as
+// their BMU.
+func (m *Map) HitHistogram(inputs [][]float64) []int {
+	hits := make([]int, m.Units())
+	for _, x := range inputs {
+		hits[m.BMU(x)]++
+	}
+	return hits
+}

@@ -1,0 +1,147 @@
+package tdt
+
+import (
+	"fmt"
+
+	"temporaldoc/internal/corpus"
+)
+
+// Segmentation evaluation: Pk (Beeferman et al. 1999) and WindowDiff
+// (Pevzner & Hearst 2002), the standard text-segmentation error metrics
+// for Topic Detection and Tracking. Both slide a window of half the
+// mean true segment length over the stream and count disagreements
+// between the reference and hypothesised boundaries; both are error
+// rates in [0, 1], lower is better.
+
+// Boundaries converts a per-position topic assignment (as produced by
+// Dominant) into a boundary indicator: boundary[i] is true when a new
+// segment starts at position i (position 0 is never a boundary).
+// Positions with empty topics inherit the previous topic, so only real
+// topic changes count.
+func Boundaries(topics []string) []bool {
+	out := make([]bool, len(topics))
+	prev := ""
+	for i, tpc := range topics {
+		cur := tpc
+		if cur == "" {
+			cur = prev
+		}
+		if i > 0 && cur != prev && cur != "" && prev != "" {
+			out[i] = true
+		}
+		if cur != "" {
+			prev = cur
+		}
+	}
+	return out
+}
+
+// meanSegmentLength returns the average true segment length, used to
+// derive the evaluation window (half of it, per the literature).
+func meanSegmentLength(ref []bool) float64 {
+	if len(ref) == 0 {
+		return 0
+	}
+	segments := 1
+	for _, b := range ref {
+		if b {
+			segments++
+		}
+	}
+	return float64(len(ref)) / float64(segments)
+}
+
+// windowFor derives the Pk/WindowDiff window: half the mean reference
+// segment length, at least 2.
+func windowFor(ref []bool) int {
+	k := int(meanSegmentLength(ref) / 2)
+	if k < 2 {
+		k = 2
+	}
+	return k
+}
+
+// Pk computes the Beeferman Pk error: the probability that a randomly
+// chosen pair of positions k apart is classified inconsistently (same
+// segment in the reference but different in the hypothesis, or vice
+// versa). ref and hyp are boundary indicators of equal length.
+func Pk(ref, hyp []bool) (float64, error) {
+	if len(ref) != len(hyp) {
+		return 0, fmt.Errorf("tdt: Pk length mismatch %d vs %d", len(ref), len(hyp))
+	}
+	k := windowFor(ref)
+	if len(ref) <= k {
+		return 0, fmt.Errorf("tdt: sequence of %d too short for window %d", len(ref), k)
+	}
+	disagreements, total := 0, 0
+	for i := 0; i+k < len(ref); i++ {
+		refSame := !anyBoundary(ref, i+1, i+k)
+		hypSame := !anyBoundary(hyp, i+1, i+k)
+		if refSame != hypSame {
+			disagreements++
+		}
+		total++
+	}
+	return float64(disagreements) / float64(total), nil
+}
+
+// WindowDiff computes the Pevzner–Hearst error: the fraction of windows
+// where the number of reference and hypothesised boundaries differ.
+func WindowDiff(ref, hyp []bool) (float64, error) {
+	if len(ref) != len(hyp) {
+		return 0, fmt.Errorf("tdt: WindowDiff length mismatch %d vs %d", len(ref), len(hyp))
+	}
+	k := windowFor(ref)
+	if len(ref) <= k {
+		return 0, fmt.Errorf("tdt: sequence of %d too short for window %d", len(ref), k)
+	}
+	disagreements, total := 0, 0
+	for i := 0; i+k < len(ref); i++ {
+		if countBoundaries(ref, i+1, i+k) != countBoundaries(hyp, i+1, i+k) {
+			disagreements++
+		}
+		total++
+	}
+	return float64(disagreements) / float64(total), nil
+}
+
+func anyBoundary(b []bool, lo, hi int) bool {
+	for i := lo; i <= hi; i++ {
+		if b[i] {
+			return true
+		}
+	}
+	return false
+}
+
+func countBoundaries(b []bool, lo, hi int) int {
+	n := 0
+	for i := lo; i <= hi; i++ {
+		if b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// EvaluateSegmentation scores the detector against a reference topic
+// assignment over a document (e.g. the generator's known segment
+// structure): it runs Segments+Dominant and reports Pk and WindowDiff
+// against the reference boundaries.
+func (d *Detector) EvaluateSegmentation(doc *corpus.Document, refTopics []string) (pk, wd float64, err error) {
+	if len(refTopics) != len(doc.Words) {
+		return 0, 0, fmt.Errorf("tdt: reference covers %d of %d words", len(refTopics), len(doc.Words))
+	}
+	segs, err := d.Segments(doc)
+	if err != nil {
+		return 0, 0, err
+	}
+	hyp := Boundaries(Dominant(segs, len(doc.Words)))
+	ref := Boundaries(refTopics)
+	pk, err = Pk(ref, hyp)
+	if err != nil {
+		return 0, 0, err
+	}
+	wd, err = WindowDiff(ref, hyp)
+	return pk, wd, err
+}

@@ -1,0 +1,164 @@
+package tdt
+
+import (
+	"testing"
+
+	"temporaldoc/internal/corpus"
+)
+
+func TestBoundaries(t *testing.T) {
+	topics := []string{"a", "a", "b", "b", "", "b", "c"}
+	got := Boundaries(topics)
+	want := []bool{false, false, true, false, false, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Boundaries[%d] = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if got := Boundaries(nil); len(got) != 0 {
+		t.Errorf("Boundaries(nil) = %v", got)
+	}
+	// Leading empties don't create boundaries.
+	lead := Boundaries([]string{"", "", "a", "a"})
+	for i, b := range lead {
+		if b {
+			t.Errorf("leading-empty boundary at %d", i)
+		}
+	}
+}
+
+func mkBoundaries(n int, at ...int) []bool {
+	b := make([]bool, n)
+	for _, i := range at {
+		b[i] = true
+	}
+	return b
+}
+
+func TestPkPerfectHypothesis(t *testing.T) {
+	ref := mkBoundaries(40, 20)
+	pk, err := Pk(ref, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk != 0 {
+		t.Errorf("Pk(ref, ref) = %v", pk)
+	}
+	wd, err := WindowDiff(ref, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wd != 0 {
+		t.Errorf("WindowDiff(ref, ref) = %v", wd)
+	}
+}
+
+func TestPkDegradesWithDistance(t *testing.T) {
+	ref := mkBoundaries(60, 30)
+	near := mkBoundaries(60, 32)
+	far := mkBoundaries(60, 50)
+	pkNear, err := Pk(ref, near)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkFar, err := Pk(ref, far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkNear >= pkFar {
+		t.Errorf("Pk near (%v) not below far (%v)", pkNear, pkFar)
+	}
+}
+
+func TestWindowDiffPenalisesExtraBoundaries(t *testing.T) {
+	ref := mkBoundaries(60, 30)
+	over := mkBoundaries(60, 10, 20, 30, 40, 50)
+	wdRef, err := WindowDiff(ref, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wdOver, err := WindowDiff(ref, over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wdOver <= wdRef {
+		t.Errorf("over-segmentation not penalised: %v vs %v", wdOver, wdRef)
+	}
+}
+
+func TestPkErrors(t *testing.T) {
+	if _, err := Pk(mkBoundaries(10), mkBoundaries(9)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Pk(mkBoundaries(2), mkBoundaries(2)); err == nil {
+		t.Error("too-short sequence accepted")
+	}
+	if _, err := WindowDiff(mkBoundaries(10), mkBoundaries(9)); err == nil {
+		t.Error("WindowDiff length mismatch accepted")
+	}
+}
+
+func TestMetricsInUnitRange(t *testing.T) {
+	ref := mkBoundaries(50, 10, 25, 40)
+	hyp := mkBoundaries(50, 5, 22, 48)
+	pk, err := Pk(ref, hyp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd, err := WindowDiff(ref, hyp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{pk, wd} {
+		if v < 0 || v > 1 {
+			t.Errorf("metric %v out of [0,1]", v)
+		}
+	}
+}
+
+func TestEvaluateSegmentationEndToEnd(t *testing.T) {
+	model, c := trainedModel(t)
+	d, err := NewDetector(model, Config{Categories: []string{"earn", "crude"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a two-segment stream with a known reference segmentation.
+	var earnDoc, crudeDoc *corpus.Document
+	for i := range c.Test {
+		doc := &c.Test[i]
+		if len(doc.Categories) == 1 && doc.Categories[0] == "earn" && earnDoc == nil {
+			earnDoc = doc
+		}
+		if len(doc.Categories) == 1 && doc.Categories[0] == "crude" && crudeDoc == nil {
+			crudeDoc = doc
+		}
+	}
+	if earnDoc == nil || crudeDoc == nil {
+		t.Skip("source docs missing")
+	}
+	stream := corpus.Document{
+		ID:    "segeval",
+		Words: append(append([]string{}, earnDoc.Words...), crudeDoc.Words...),
+	}
+	ref := make([]string, len(stream.Words))
+	for i := range ref {
+		if i < len(earnDoc.Words) {
+			ref[i] = "earn"
+		} else {
+			ref[i] = "crude"
+		}
+	}
+	pk, wd, err := d.EvaluateSegmentation(&stream, ref)
+	if err != nil {
+		t.Fatalf("EvaluateSegmentation: %v", err)
+	}
+	for _, v := range []float64{pk, wd} {
+		if v < 0 || v > 1 {
+			t.Errorf("metric %v out of range", v)
+		}
+	}
+	// Reference mismatch is rejected.
+	if _, _, err := d.EvaluateSegmentation(&stream, ref[:3]); err == nil {
+		t.Error("short reference accepted")
+	}
+}

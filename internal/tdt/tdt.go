@@ -1,0 +1,196 @@
+// Package tdt implements Topic Detection and Tracking on word streams —
+// the application the paper's conclusion proposes for the temporal
+// classifier ("we are going to test the proposed system on topic
+// detection and tracking data sets as the next step").
+//
+// A Detector runs every category classifier of a trained model over a
+// document word by word and converts the per-word output-register
+// trajectories (the Figure 5/6 signal) into topical segments and drift
+// events, with no segmentation supervision.
+package tdt
+
+import (
+	"fmt"
+	"sort"
+
+	"temporaldoc/internal/core"
+	"temporaldoc/internal/corpus"
+)
+
+// Segment is a detected topical span of a document, in original word
+// positions (inclusive bounds).
+type Segment struct {
+	Category  string
+	StartWord int
+	EndWord   int
+	// Confidence is the mean squashed classifier output over the
+	// segment's member words.
+	Confidence float64
+	// MemberWords is the number of member-word observations supporting
+	// the segment.
+	MemberWords int
+}
+
+// Drift is a detected change of the dominant topic.
+type Drift struct {
+	// WordIndex is the original document position where the dominant
+	// topic changes.
+	WordIndex int
+	// From and To are the dominant categories before and after the
+	// drift; From is empty at stream start.
+	From, To string
+}
+
+// Config parameterises detection.
+type Config struct {
+	// Window is the smoothing window in member words. Zero means 3.
+	Window int
+	// MinConfidence is the smoothed output a category needs to own a
+	// span. Zero means the category threshold (from the trained model)
+	// is used on raw outputs instead of a fixed level.
+	MinConfidence float64
+	// Categories restricts detection; nil means all trained categories.
+	Categories []string
+}
+
+// Detector segments word streams with a trained temporal classifier.
+type Detector struct {
+	model *core.Model
+	cfg   Config
+}
+
+// NewDetector wraps a trained model. The model is used read-only.
+func NewDetector(model *core.Model, cfg Config) (*Detector, error) {
+	if model == nil {
+		return nil, fmt.Errorf("tdt: nil model")
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 3
+	}
+	if cfg.Categories == nil {
+		cfg.Categories = model.Categories()
+	} else {
+		for _, cat := range cfg.Categories {
+			if model.CategoryModelFor(cat) == nil {
+				return nil, fmt.Errorf("tdt: category %q not in model", cat)
+			}
+		}
+	}
+	return &Detector{model: model, cfg: cfg}, nil
+}
+
+// smoothed returns, per member word of the category trace, the mean
+// output over a centred window of Window member words.
+func (d *Detector) smoothed(trace []core.TracePoint) []float64 {
+	n := len(trace)
+	out := make([]float64, n)
+	half := d.cfg.Window / 2
+	for i := 0; i < n; i++ {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		var sum float64
+		for k := lo; k <= hi; k++ {
+			sum += trace[k].Output
+		}
+		out[i] = sum / float64(hi-lo+1)
+	}
+	return out
+}
+
+// Segments detects the topical spans of a document for every configured
+// category: maximal runs of member words whose smoothed output stays
+// above the decision level. Segments are returned sorted by start
+// position, then category.
+func (d *Detector) Segments(doc *corpus.Document) ([]Segment, error) {
+	var segs []Segment
+	for _, cat := range d.cfg.Categories {
+		trace, err := d.model.Trace(cat, doc)
+		if err != nil {
+			return nil, err
+		}
+		if len(trace) == 0 {
+			continue
+		}
+		level := d.cfg.MinConfidence
+		if level == 0 {
+			level = d.model.CategoryModelFor(cat).Threshold
+		}
+		smooth := d.smoothed(trace)
+		start := -1
+		var sum float64
+		var count int
+		flush := func(endIdx int) {
+			if start < 0 {
+				return
+			}
+			segs = append(segs, Segment{
+				Category:    cat,
+				StartWord:   trace[start].WordIndex,
+				EndWord:     trace[endIdx].WordIndex,
+				Confidence:  sum / float64(count),
+				MemberWords: count,
+			})
+			start, sum, count = -1, 0, 0
+		}
+		for i := range trace {
+			if smooth[i] > level {
+				if start < 0 {
+					start = i
+				}
+				sum += trace[i].Output
+				count++
+			} else {
+				flush(i - 1)
+			}
+		}
+		flush(len(trace) - 1)
+	}
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].StartWord != segs[j].StartWord {
+			return segs[i].StartWord < segs[j].StartWord
+		}
+		return segs[i].Category < segs[j].Category
+	})
+	return segs, nil
+}
+
+// Dominant returns, per original word position covered by at least one
+// segment, the category of the highest-confidence covering segment.
+func Dominant(segs []Segment, docLen int) []string {
+	owner := make([]string, docLen)
+	conf := make([]float64, docLen)
+	for _, s := range segs {
+		for w := s.StartWord; w <= s.EndWord && w < docLen; w++ {
+			if owner[w] == "" || s.Confidence > conf[w] {
+				owner[w] = s.Category
+				conf[w] = s.Confidence
+			}
+		}
+	}
+	return owner
+}
+
+// Drifts reduces a document's segments to the sequence of dominant-topic
+// changes along the stream.
+func (d *Detector) Drifts(doc *corpus.Document) ([]Drift, error) {
+	segs, err := d.Segments(doc)
+	if err != nil {
+		return nil, err
+	}
+	owner := Dominant(segs, len(doc.Words))
+	var drifts []Drift
+	prev := ""
+	for w, cat := range owner {
+		if cat == "" || cat == prev {
+			continue
+		}
+		drifts = append(drifts, Drift{WordIndex: w, From: prev, To: cat})
+		prev = cat
+	}
+	return drifts, nil
+}

@@ -1,0 +1,228 @@
+package tdt
+
+import (
+	"testing"
+
+	"temporaldoc/internal/core"
+	"temporaldoc/internal/corpus"
+	"temporaldoc/internal/featsel"
+	"temporaldoc/internal/hsom"
+	"temporaldoc/internal/lgp"
+	"temporaldoc/internal/reuters"
+)
+
+var (
+	sharedModel  *core.Model
+	sharedCorpus *corpus.Corpus
+)
+
+func trainedModel(t *testing.T) (*core.Model, *corpus.Corpus) {
+	t.Helper()
+	if sharedModel != nil {
+		return sharedModel, sharedCorpus
+	}
+	gen := reuters.DefaultGenConfig()
+	gen.Scale = 0.01
+	gen.Seed = 4
+	c, err := reuters.GenerateCorpus(gen)
+	if err != nil {
+		t.Fatalf("corpus: %v", err)
+	}
+	gp := lgp.DefaultConfig()
+	gp.PopulationSize = 25
+	gp.Tournaments = 500
+	gp.MaxPages = 4
+	gp.MaxPageSize = 4
+	gp.DSS = &lgp.DSSConfig{SubsetSize: 25, Interval: 40}
+	model, err := core.Train(core.Config{
+		FeatureMethod: featsel.MI,
+		FeatureConfig: featsel.Config{PerCategoryN: 30},
+		Encoder: hsom.Config{
+			CharWidth: 5, CharHeight: 5,
+			WordWidth: 4, WordHeight: 4,
+			CharEpochs: 2, WordEpochs: 4,
+			Seed: 2,
+		},
+		GP:       gp,
+		Restarts: 1,
+		Seed:     9,
+	}, c)
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	sharedModel, sharedCorpus = model, c
+	return model, c
+}
+
+func TestNewDetectorValidation(t *testing.T) {
+	model, _ := trainedModel(t)
+	if _, err := NewDetector(nil, Config{}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewDetector(model, Config{Categories: []string{"bogus"}}); err == nil {
+		t.Error("unknown category accepted")
+	}
+	d, err := NewDetector(model, Config{})
+	if err != nil {
+		t.Fatalf("NewDetector: %v", err)
+	}
+	if d.cfg.Window != 3 {
+		t.Errorf("default window = %d", d.cfg.Window)
+	}
+	if len(d.cfg.Categories) != len(model.Categories()) {
+		t.Error("default categories not populated")
+	}
+}
+
+func TestSegmentsWellFormed(t *testing.T) {
+	model, c := trainedModel(t)
+	d, err := NewDetector(model, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Test[:15] {
+		doc := &c.Test[i]
+		segs, err := d.Segments(doc)
+		if err != nil {
+			t.Fatalf("Segments: %v", err)
+		}
+		for _, s := range segs {
+			if s.StartWord < 0 || s.EndWord >= len(doc.Words) || s.StartWord > s.EndWord {
+				t.Errorf("doc %s: segment bounds %d..%d of %d words", doc.ID, s.StartWord, s.EndWord, len(doc.Words))
+			}
+			if s.MemberWords <= 0 {
+				t.Errorf("segment with %d member words", s.MemberWords)
+			}
+			if s.Confidence < -1 || s.Confidence > 1 {
+				t.Errorf("confidence %v out of range", s.Confidence)
+			}
+		}
+		// Sorted by start position.
+		for j := 1; j < len(segs); j++ {
+			if segs[j-1].StartWord > segs[j].StartWord {
+				t.Errorf("segments unsorted: %v", segs)
+			}
+		}
+	}
+}
+
+func TestSegmentsDetectTrueCategory(t *testing.T) {
+	model, c := trainedModel(t)
+	d, err := NewDetector(model, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over the earn test docs, earn segments should appear in a majority
+	// of documents (the classifier fires on its topical words).
+	docs := c.TestFor("earn")
+	if len(docs) > 20 {
+		docs = docs[:20]
+	}
+	hits := 0
+	for i := range docs {
+		segs, err := d.Segments(&docs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range segs {
+			if s.Category == "earn" {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < len(docs)/2 {
+		t.Errorf("earn segments found in %d/%d earn docs", hits, len(docs))
+	}
+}
+
+func TestDominantOwnership(t *testing.T) {
+	segs := []Segment{
+		{Category: "a", StartWord: 0, EndWord: 4, Confidence: 0.5},
+		{Category: "b", StartWord: 3, EndWord: 8, Confidence: 0.9},
+	}
+	owner := Dominant(segs, 10)
+	if owner[0] != "a" || owner[2] != "a" {
+		t.Errorf("prefix ownership: %v", owner)
+	}
+	// Overlap 3..4 goes to the higher-confidence b.
+	if owner[3] != "b" || owner[4] != "b" || owner[8] != "b" {
+		t.Errorf("overlap ownership: %v", owner)
+	}
+	if owner[9] != "" {
+		t.Errorf("uncovered position owned: %v", owner)
+	}
+}
+
+func TestDominantClampsToDocLength(t *testing.T) {
+	segs := []Segment{{Category: "a", StartWord: 2, EndWord: 99, Confidence: 1}}
+	owner := Dominant(segs, 5)
+	if len(owner) != 5 || owner[4] != "a" {
+		t.Errorf("clamping failed: %v", owner)
+	}
+}
+
+func TestDriftsOnSplicedStream(t *testing.T) {
+	model, c := trainedModel(t)
+	d, err := NewDetector(model, Config{Categories: []string{"earn", "crude"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a stream with a hard topic switch.
+	var earnDoc, crudeDoc *corpus.Document
+	for i := range c.Test {
+		t := &c.Test[i]
+		if len(t.Categories) == 1 && t.Categories[0] == "earn" && earnDoc == nil {
+			earnDoc = t
+		}
+		if len(t.Categories) == 1 && t.Categories[0] == "crude" && crudeDoc == nil {
+			crudeDoc = t
+		}
+	}
+	if earnDoc == nil || crudeDoc == nil {
+		t.Skip("missing source documents")
+	}
+	stream := corpus.Document{
+		ID:    "spliced",
+		Words: append(append([]string{}, earnDoc.Words...), crudeDoc.Words...),
+	}
+	drifts, err := d.Drifts(&stream)
+	if err != nil {
+		t.Fatalf("Drifts: %v", err)
+	}
+	// Drift positions must be increasing and within bounds, and From/To
+	// must chain.
+	prev := -1
+	for _, dr := range drifts {
+		if dr.WordIndex <= prev || dr.WordIndex >= len(stream.Words) {
+			t.Errorf("drift position %d invalid", dr.WordIndex)
+		}
+		prev = dr.WordIndex
+		if dr.To == "" || dr.To == dr.From {
+			t.Errorf("degenerate drift %+v", dr)
+		}
+	}
+}
+
+func TestSmoothedWindow(t *testing.T) {
+	model, _ := trainedModel(t)
+	d, err := NewDetector(model, Config{Window: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := []core.TracePoint{
+		{Output: 1}, {Output: -1}, {Output: 1}, {Output: -1},
+	}
+	s := d.smoothed(trace)
+	if len(s) != 4 {
+		t.Fatalf("smoothed length %d", len(s))
+	}
+	// Centre points average three neighbours: (1-1+1)/3 etc.
+	if s[1] < 0.3 || s[1] > 0.34 {
+		t.Errorf("smoothed[1] = %v, want ~1/3", s[1])
+	}
+	// Edge points average two.
+	if s[0] != 0 {
+		t.Errorf("smoothed[0] = %v, want 0", s[0])
+	}
+}

@@ -1,0 +1,29 @@
+package textproc
+
+import "testing"
+
+// FuzzProcess checks the full pre-processing path never panics and
+// always yields clean lower-case tokens.
+func FuzzProcess(f *testing.F) {
+	f.Add("<TITLE>Wheat</TITLE><BODY>Prices rose 12.5 pct &amp; more</BODY>")
+	f.Add("plain text")
+	f.Add("<<>><&;&&#;;")
+	f.Add("ALL CAPS AND 'QUOTED' words-with-dashes")
+	f.Add("")
+	pre := NewPreprocessor(Options{})
+	f.Fuzz(func(t *testing.T, src string) {
+		for _, w := range pre.Process(src) {
+			if w == "" {
+				t.Fatal("empty token")
+			}
+			if IsStopWord(w) {
+				t.Fatalf("stop word %q survived", w)
+			}
+			for i := 0; i < len(w); i++ {
+				if w[i] < 'a' || w[i] > 'z' {
+					t.Fatalf("dirty token %q", w)
+				}
+			}
+		}
+	})
+}

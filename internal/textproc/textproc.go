@@ -1,0 +1,158 @@
+// Package textproc implements the paper's pre-processing stage: removal
+// of markup tags and non-textual data, lower-casing, tokenisation into an
+// ordered word sequence, and stop-word removal.
+//
+// Stemming is deliberately NOT performed — the paper relies on the
+// second-level SOM to group words sharing a base form (section 4).
+package textproc
+
+import (
+	"strings"
+)
+
+// Options controls pre-processing. The zero value matches the paper:
+// strip markup, drop non-alphabetic tokens, lower-case, remove stop words.
+type Options struct {
+	// KeepStopWords disables stop-word removal.
+	KeepStopWords bool
+	// MinWordLen drops tokens shorter than this many letters. Zero means 1.
+	MinWordLen int
+	// MaxWordLen truncates nothing but drops tokens longer than this many
+	// letters (noise guard). Zero means no limit.
+	MaxWordLen int
+	// ExtraStopWords are removed in addition to the embedded list.
+	ExtraStopWords []string
+}
+
+// Preprocessor turns raw document text into the ordered word sequence the
+// rest of the pipeline consumes.
+type Preprocessor struct {
+	opts Options
+	stop map[string]bool
+}
+
+// NewPreprocessor builds a Preprocessor for the given options.
+func NewPreprocessor(opts Options) *Preprocessor {
+	p := &Preprocessor{opts: opts, stop: make(map[string]bool)}
+	if !opts.KeepStopWords {
+		for _, w := range StopWords() {
+			p.stop[w] = true
+		}
+	}
+	for _, w := range opts.ExtraStopWords {
+		p.stop[strings.ToLower(w)] = true
+	}
+	return p
+}
+
+// Process converts raw text (possibly containing SGML/HTML-like markup)
+// into an ordered, cleaned word sequence.
+func (p *Preprocessor) Process(raw string) []string {
+	return p.Tokens(StripMarkup(raw))
+}
+
+// Tokens tokenises already-markup-free text.
+func (p *Preprocessor) Tokens(text string) []string {
+	minLen := p.opts.MinWordLen
+	if minLen <= 0 {
+		minLen = 1
+	}
+	var out []string
+	var cur []byte
+	flush := func() {
+		if len(cur) < minLen {
+			cur = cur[:0]
+			return
+		}
+		if p.opts.MaxWordLen > 0 && len(cur) > p.opts.MaxWordLen {
+			cur = cur[:0]
+			return
+		}
+		w := string(cur)
+		cur = cur[:0]
+		if p.stop[w] {
+			return
+		}
+		out = append(out, w)
+	}
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+			cur = append(cur, c)
+		case c >= 'A' && c <= 'Z':
+			cur = append(cur, c-'A'+'a')
+		case c == '\'':
+			// Apostrophes split contractions: "company's" -> "company".
+			flush()
+			// Skip the trailing fragment (s, t, ...) up to next separator.
+			for i+1 < len(text) && isLetter(text[i+1]) {
+				i++
+			}
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+func isLetter(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// StripMarkup removes SGML/HTML-like tags (<TITLE>, </BODY>, ...) and
+// character entities (&lt; &#38; ...), replacing each with a space so that
+// words on either side of a tag do not fuse.
+func StripMarkup(raw string) string {
+	var b strings.Builder
+	b.Grow(len(raw))
+	inTag := false
+	for i := 0; i < len(raw); i++ {
+		c := raw[i]
+		switch {
+		case inTag:
+			if c == '>' {
+				inTag = false
+				b.WriteByte(' ')
+			}
+		case c == '<':
+			inTag = true
+		case c == '&':
+			// Swallow an entity like &amp; or &#123; (bounded scan).
+			j := i + 1
+			for j < len(raw) && j-i <= 8 && raw[j] != ';' && raw[j] != ' ' && raw[j] != '<' {
+				j++
+			}
+			if j < len(raw) && raw[j] == ';' {
+				i = j
+				b.WriteByte(' ')
+			} else {
+				b.WriteByte(' ')
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// IsStopWord reports whether w (case-insensitive) is in the embedded
+// stop-word list.
+func IsStopWord(w string) bool {
+	return stopSet[strings.ToLower(w)]
+}
+
+var stopSet = func() map[string]bool {
+	m := make(map[string]bool, len(stopWords))
+	for _, w := range stopWords {
+		m[w] = true
+	}
+	return m
+}()
+
+// StopWords returns a copy of the embedded English stop-word list
+// (SMART-derived, standing in for the authors' list at [1]).
+func StopWords() []string {
+	return append([]string(nil), stopWords...)
+}

@@ -1,0 +1,170 @@
+package textproc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStripMarkupTags(t *testing.T) {
+	in := "<TITLE>Wheat prices</TITLE><BODY>Exports rose.</BODY>"
+	out := StripMarkup(in)
+	if strings.ContainsAny(out, "<>") {
+		t.Errorf("markup remains: %q", out)
+	}
+	if !strings.Contains(out, "Wheat prices") || !strings.Contains(out, "Exports rose.") {
+		t.Errorf("content lost: %q", out)
+	}
+}
+
+func TestStripMarkupKeepsWordBoundaries(t *testing.T) {
+	out := StripMarkup("end<TAG>start")
+	if strings.Contains(out, "endstart") {
+		t.Errorf("words fused across tag: %q", out)
+	}
+}
+
+func TestStripMarkupEntities(t *testing.T) {
+	out := StripMarkup("profit &amp; loss &#38; more")
+	if strings.Contains(out, "amp") || strings.Contains(out, "#38") {
+		t.Errorf("entity remains: %q", out)
+	}
+	if !strings.Contains(out, "profit") || !strings.Contains(out, "loss") {
+		t.Errorf("content lost: %q", out)
+	}
+}
+
+func TestStripMarkupUnclosedEntity(t *testing.T) {
+	// An ampersand not forming an entity must not eat following text.
+	out := StripMarkup("AT&T profits")
+	if !strings.Contains(out, "profits") {
+		t.Errorf("text after bare ampersand lost: %q", out)
+	}
+}
+
+func TestProcessBasics(t *testing.T) {
+	p := NewPreprocessor(Options{})
+	got := p.Process("<BODY>The company REPORTED record Profits of 12.5 mln dlrs!</BODY>")
+	want := []string{"company", "reported", "record", "profits", "mln", "dlrs"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Process = %v, want %v", got, want)
+	}
+}
+
+func TestProcessRemovesDigitsAndSigns(t *testing.T) {
+	p := NewPreprocessor(Options{})
+	got := p.Tokens("q1 2024 $5.3% rate-hike")
+	// "q" survives from q1 (letters only), digits and signs dropped.
+	for _, w := range got {
+		for i := 0; i < len(w); i++ {
+			if w[i] < 'a' || w[i] > 'z' {
+				t.Fatalf("token %q contains non-letter", w)
+			}
+		}
+	}
+}
+
+func TestProcessStopWords(t *testing.T) {
+	p := NewPreprocessor(Options{})
+	got := p.Tokens("the bank and the rate")
+	want := []string{"bank", "rate"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("stop words kept: %v", got)
+	}
+	keep := NewPreprocessor(Options{KeepStopWords: true})
+	got = keep.Tokens("the bank")
+	if !reflect.DeepEqual(got, []string{"the", "bank"}) {
+		t.Errorf("KeepStopWords dropped them anyway: %v", got)
+	}
+}
+
+func TestProcessExtraStopWords(t *testing.T) {
+	p := NewPreprocessor(Options{ExtraStopWords: []string{"Bank"}})
+	got := p.Tokens("the bank raised rates")
+	want := []string{"raised", "rates"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("extra stop word kept: %v", got)
+	}
+}
+
+func TestProcessOrderPreserved(t *testing.T) {
+	p := NewPreprocessor(Options{KeepStopWords: true})
+	got := p.Tokens("zulu alpha kilo alpha")
+	want := []string{"zulu", "alpha", "kilo", "alpha"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("order changed: %v", got)
+	}
+}
+
+func TestProcessContractions(t *testing.T) {
+	p := NewPreprocessor(Options{KeepStopWords: true})
+	got := p.Tokens("company's results weren't bad")
+	want := []string{"company", "results", "weren", "bad"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("contractions: %v, want %v", got, want)
+	}
+}
+
+func TestMinMaxWordLen(t *testing.T) {
+	p := NewPreprocessor(Options{KeepStopWords: true, MinWordLen: 3, MaxWordLen: 5})
+	got := p.Tokens("ab abc abcdef abcde")
+	want := []string{"abc", "abcde"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("length bounds: %v, want %v", got, want)
+	}
+}
+
+func TestIsStopWord(t *testing.T) {
+	for _, w := range []string{"the", "The", "AND", "of"} {
+		if !IsStopWord(w) {
+			t.Errorf("IsStopWord(%q) = false", w)
+		}
+	}
+	for _, w := range []string{"wheat", "profit", ""} {
+		if IsStopWord(w) {
+			t.Errorf("IsStopWord(%q) = true", w)
+		}
+	}
+}
+
+func TestStopWordsCopy(t *testing.T) {
+	a := StopWords()
+	a[0] = "mutated"
+	if b := StopWords(); b[0] == "mutated" {
+		t.Error("StopWords exposes internal slice")
+	}
+}
+
+// Property: tokens are always lower-case ASCII letters and never stop
+// words (with default options).
+func TestTokensProperty(t *testing.T) {
+	p := NewPreprocessor(Options{})
+	f := func(s string) bool {
+		for _, w := range p.Tokens(s) {
+			if w == "" || IsStopWord(w) {
+				return false
+			}
+			for i := 0; i < len(w); i++ {
+				if w[i] < 'a' || w[i] > 'z' {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: StripMarkup output never contains '<' from a well-formed tag
+// region and is never longer than its input.
+func TestStripMarkupProperty(t *testing.T) {
+	f := func(s string) bool {
+		return len(StripMarkup(s)) <= len(s)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
