@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build vet test race bench fmt-check ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector is the backstop for the parallel evaluation engine
+# (SOM batch BMU search, GP tournament evaluation, encode/machine
+# caches): any unsynchronised access introduced later fails here.
+race:
+	$(GO) test -race ./...
+
+# Short benchmark smoke over the evaluation-engine hot paths. Catches
+# benchmarks that stop compiling or panic; not a performance gate.
+bench:
+	$(GO) test -run '^$$' -bench '^Benchmark(BMU|TrainEpoch|Tournament|RunSequence|ModelScore)' -benchtime 10x \
+		./internal/som/ ./internal/lgp/ .
+
+# Fails when any tracked Go file is not gofmt-formatted.
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+ci: fmt-check vet build test race bench

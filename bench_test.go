@@ -264,6 +264,23 @@ func BenchmarkRLGPSequenceExecution(b *testing.B) {
 	}
 }
 
+func BenchmarkModelScore(b *testing.B) {
+	p, c := benchSetup(b)
+	model, err := p.TrainProSys(c, DF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := &c.Test[0]
+	cat := c.Categories[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Score(cat, doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkModelClassify(b *testing.B) {
 	p, c := benchSetup(b)
 	model, err := p.TrainProSys(c, DF)

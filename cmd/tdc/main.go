@@ -153,6 +153,7 @@ func cmdEvaluate(args []string) error {
 	seed := fs.Int64("seed", 0, "override profile seed")
 	scale := fs.Float64("scale", 0, "override corpus scale")
 	breakeven := fs.Bool("breakeven", false, "also report per-category P/R break-even and average precision")
+	pf := registerPerfFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -160,6 +161,11 @@ func cmdEvaluate(args []string) error {
 	if err != nil {
 		return err
 	}
+	stop, err := pf.apply(&p)
+	if err != nil {
+		return err
+	}
+	defer stop()
 	m, err := methodByName(*method)
 	if err != nil {
 		return err
@@ -219,6 +225,7 @@ func cmdCompare(args []string) error {
 	profile := fs.String("profile", "quick", "experiment profile: smoke, quick, full")
 	seed := fs.Int64("seed", 0, "override profile seed")
 	scale := fs.Float64("scale", 0, "override corpus scale")
+	pf := registerPerfFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -226,6 +233,11 @@ func cmdCompare(args []string) error {
 	if err != nil {
 		return err
 	}
+	stop, err := pf.apply(&p)
+	if err != nil {
+		return err
+	}
+	defer stop()
 	c, err := p.Corpus()
 	if err != nil {
 		return err
@@ -257,6 +269,7 @@ func cmdTrace(args []string) error {
 	seed := fs.Int64("seed", 0, "override profile seed")
 	scale := fs.Float64("scale", 0, "override corpus scale")
 	svg := fs.String("svg", "", "also write the trace as an SVG chart to this file")
+	pf := registerPerfFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -264,6 +277,11 @@ func cmdTrace(args []string) error {
 	if err != nil {
 		return err
 	}
+	stop, err := pf.apply(&p)
+	if err != nil {
+		return err
+	}
+	defer stop()
 	c, err := p.Corpus()
 	if err != nil {
 		return err
@@ -302,6 +320,7 @@ func cmdRule(args []string) error {
 	profile := fs.String("profile", "smoke", "experiment profile: smoke, quick, full")
 	seed := fs.Int64("seed", 0, "override profile seed")
 	scale := fs.Float64("scale", 0, "override corpus scale")
+	pf := registerPerfFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -309,6 +328,11 @@ func cmdRule(args []string) error {
 	if err != nil {
 		return err
 	}
+	stop, err := pf.apply(&p)
+	if err != nil {
+		return err
+	}
+	defer stop()
 	m, err := methodByName(*method)
 	if err != nil {
 		return err

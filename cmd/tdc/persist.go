@@ -23,6 +23,7 @@ func cmdTrain(args []string) error {
 	scale := fs.Float64("scale", 0, "override corpus scale")
 	out := fs.String("out", "model.json", "output model file")
 	sgml := fs.String("sgml", "", "comma-free glob of SGML training files (default: synthetic corpus)")
+	pf := registerPerfFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -30,6 +31,11 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
+	stop, err := pf.apply(&p)
+	if err != nil {
+		return err
+	}
+	defer stop()
 	m, err := methodByName(*method)
 	if err != nil {
 		return err

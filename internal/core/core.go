@@ -40,6 +40,12 @@ type Config struct {
 	// Parallelism bounds concurrent category training. Zero means the
 	// number of categories.
 	Parallelism int
+	// Workers is the evaluation-engine worker count threaded through the
+	// pipeline: GP tournament evaluation (GP.Workers), SOM batch BMU
+	// search (Encoder.Workers) and document evaluation parallelism all
+	// default to it when they are unset. Zero leaves each stage's own
+	// default (GOMAXPROCS). Results are bit-identical for any value.
+	Workers int
 	// DropMembershipInput zeroes the Gaussian-membership dimension of
 	// every word code, leaving only the BMU index — the representation
 	// ablation benchmarked in DESIGN.md.
@@ -76,6 +82,17 @@ func (c *Config) setDefaults() {
 	if c.Encoder.Seed == 0 {
 		c.Encoder.Seed = c.Seed + 1
 	}
+	if c.Workers > 0 {
+		if c.GP.Workers == 0 {
+			c.GP.Workers = c.Workers
+		}
+		if c.Encoder.Workers == 0 {
+			c.Encoder.Workers = c.Workers
+		}
+		if c.Parallelism == 0 {
+			c.Parallelism = c.Workers
+		}
+	}
 }
 
 // ThresholdRule selects the decision-threshold derivation.
@@ -103,7 +120,8 @@ type CategoryModel struct {
 	Restart int
 }
 
-// Model is a trained temporal document classifier.
+// Model is a trained temporal document classifier. Models must not be
+// copied after first use (they embed caches and pools); use pointers.
 type Model struct {
 	cfg       Config
 	selection *featsel.Selection
@@ -111,7 +129,69 @@ type Model struct {
 	encoder   *hsom.Encoder
 	perCat    map[string]*CategoryModel
 	cats      []string
+
+	// machinePool recycles lgp.Machine instances across Score / Trace /
+	// Evaluate calls, so scoring allocates no register files (and usually
+	// re-uses an already-decoded program) on the hot path.
+	machinePool sync.Pool
+
+	// encMu guards encCache, the per-(category, document) cache of
+	// encoded input sequences. Encoding a document — char-map NearestK
+	// per character, word-map BMU per word — dominates Score, and
+	// Classify/Evaluate re-score the same document once per category, so
+	// caching by document identity-plus-content-hash removes all repeat
+	// encodes. The cache is cleared wholesale when it exceeds
+	// encodeCacheCap entries, bounding memory on streaming workloads.
+	encMu    sync.RWMutex
+	encCache map[encodeKey]encodedDoc
 }
+
+// encodeCacheCap bounds the encode cache; ~cap × (words per doc) small
+// slices. Exceeding it drops the whole cache (cheap, simple, and the
+// steady state of bounded evaluation sets never hits it).
+const encodeCacheCap = 8192
+
+type encodeKey struct {
+	cat  string
+	id   string
+	hash uint64
+}
+
+type encodedDoc struct {
+	inputs    [][]float64
+	words     []string
+	positions []int
+}
+
+// wordsHash is FNV-1a over the document's words, so a cache entry can
+// never serve a stale encoding if a caller reuses a document ID for
+// different content.
+func wordsHash(words []string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, w := range words {
+		for i := 0; i < len(w); i++ {
+			h ^= uint64(w[i])
+			h *= prime64
+		}
+		h ^= 0xff // word separator
+		h *= prime64
+	}
+	return h
+}
+
+// getMachine returns a pooled machine (or a fresh one).
+func (m *Model) getMachine() *lgp.Machine {
+	if v := m.machinePool.Get(); v != nil {
+		return v.(*lgp.Machine)
+	}
+	return lgp.NewMachine(m.cfg.GP.NumRegisters)
+}
+
+func (m *Model) putMachine(mac *lgp.Machine) { m.machinePool.Put(mac) }
 
 // TracePoint is the per-word classifier state used by the Figure 5/6
 // word-tracking views.
@@ -252,6 +332,30 @@ func (m *Model) encode(cat string, doc *corpus.Document) ([][]float64, []string,
 		words = append(words, code.Word)
 		positions = append(positions, origIdx[k])
 	}
+	return inputs, words, positions, nil
+}
+
+// encodeCached is encode behind the per-(category, document) cache used
+// on the scoring path. The returned slices are shared cache state —
+// callers must treat them as read-only.
+func (m *Model) encodeCached(cat string, doc *corpus.Document) ([][]float64, []string, []int, error) {
+	key := encodeKey{cat: cat, id: doc.ID, hash: wordsHash(doc.Words)}
+	m.encMu.RLock()
+	e, ok := m.encCache[key]
+	m.encMu.RUnlock()
+	if ok {
+		return e.inputs, e.words, e.positions, nil
+	}
+	inputs, words, positions, err := m.encode(cat, doc)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m.encMu.Lock()
+	if m.encCache == nil || len(m.encCache) >= encodeCacheCap {
+		m.encCache = make(map[encodeKey]encodedDoc)
+	}
+	m.encCache[key] = encodedDoc{inputs: inputs, words: words, positions: positions}
+	m.encMu.Unlock()
 	return inputs, words, positions, nil
 }
 
@@ -454,12 +558,14 @@ func (m *Model) Score(cat string, doc *corpus.Document) (float64, error) {
 	if cm == nil {
 		return 0, fmt.Errorf("core: category %q not trained", cat)
 	}
-	inputs, _, _, err := m.encode(cat, doc)
+	inputs, _, _, err := m.encodeCached(cat, doc)
 	if err != nil {
 		return 0, err
 	}
-	machine := lgp.NewMachine(m.cfg.GP.NumRegisters)
-	return m.runExample(machine, cm.Program, inputs), nil
+	machine := m.getMachine()
+	out := m.runExample(machine, cm.Program, inputs)
+	m.putMachine(machine)
+	return out, nil
 }
 
 // Classify runs the document through every category classifier in
@@ -488,12 +594,13 @@ func (m *Model) Trace(cat string, doc *corpus.Document) ([]TracePoint, error) {
 	if cm == nil {
 		return nil, fmt.Errorf("core: category %q not trained", cat)
 	}
-	inputs, words, positions, err := m.encode(cat, doc)
+	inputs, words, positions, err := m.encodeCached(cat, doc)
 	if err != nil {
 		return nil, err
 	}
-	machine := lgp.NewMachine(m.cfg.GP.NumRegisters)
+	machine := m.getMachine()
 	outs := machine.Trace(cm.Program, inputs)
+	m.putMachine(machine)
 	points := make([]TracePoint, len(outs))
 	for i := range outs {
 		points[i] = TracePoint{

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"temporaldoc/internal/featsel"
+)
+
+// TestTrainDeterministicAcrossWorkers trains the same corpus with the
+// serial engine and with several parallel worker counts and requires the
+// persisted models to be byte-identical: the parallel evaluation engine
+// must not change a single bit of any trained program, threshold or SOM
+// weight.
+func TestTrainDeterministicAcrossWorkers(t *testing.T) {
+	c := smallCorpus(t)
+	persisted := func(workers int) []byte {
+		cfg := fastConfig(featsel.DF)
+		cfg.GP.Tournaments = 40
+		cfg.Workers = workers
+		m, err := Train(cfg, c)
+		if err != nil {
+			t.Fatalf("Train(workers=%d): %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatalf("Save(workers=%d): %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+	want := persisted(1)
+	for _, workers := range []int{4, 0} {
+		if got := persisted(workers); !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: persisted model differs from the serial run", workers)
+		}
+	}
+}

@@ -42,6 +42,11 @@ type Profile struct {
 	Encoder       hsom.Config
 	GP            lgp.Config
 	Restarts      int
+	// Workers is the evaluation-engine worker count threaded into
+	// core.Config.Workers (tournament evaluation, batch BMU search,
+	// document scoring). Zero keeps each stage's own default; results
+	// are bit-identical for any value.
+	Workers int
 }
 
 // QuickProfile returns a minutes-scale profile: ~3% corpus scale and
@@ -121,6 +126,7 @@ func (p Profile) coreConfig(method featsel.Method) core.Config {
 		Encoder:       p.Encoder,
 		GP:            p.GP,
 		Restarts:      p.Restarts,
+		Workers:       p.Workers,
 		Seed:          p.Seed,
 	}
 }

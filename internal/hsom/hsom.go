@@ -25,6 +25,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"temporaldoc/internal/corpus"
 	"temporaldoc/internal/som"
@@ -42,6 +43,11 @@ type Config struct {
 	// BMUFanout is how many first-level BMUs represent each character
 	// (paper: 3, with contributions 1, 1/2, 1/3).
 	BMUFanout int
+	// Workers bounds concurrent BMU searches during category training
+	// and encoding. Zero means runtime.GOMAXPROCS(0); results are
+	// identical for any worker count. It is a runtime knob, not a
+	// model parameter, so it is excluded from persisted snapshots.
+	Workers int `json:"-"`
 	// Seed drives weight initialisation at both levels.
 	Seed int64
 }
@@ -177,6 +183,14 @@ type Encoder struct {
 	cfg        Config
 	charMap    *som.Map
 	categories map[string]*CategoryEncoder
+
+	// wordVecs caches the (deterministic, charMap-derived) word vector of
+	// every word ever encoded, so repeated occurrences — the common case
+	// both during category-SOM training and document encoding — cost one
+	// map lookup instead of a NearestK search per character. Guarded by
+	// mu: encoding runs concurrently during evaluation.
+	mu       sync.RWMutex
+	wordVecs map[string][]float64
 }
 
 // Train builds the hierarchy from training documents. perCategory maps
@@ -244,15 +258,29 @@ func Train(cfg Config, perCategory map[string][]corpus.Document) (*Encoder, erro
 
 // WordVector builds the 91-dimensional (char-map-unit-count) vector of a
 // word: for each character, the three most affected first-level BMUs
-// contribute 1, 1/2 and 1/3 to their entries (section 5).
+// contribute 1, 1/2 and 1/3 to their entries (section 5). Vectors are
+// cached per word (the character map is frozen once trained), so the
+// returned slice is shared — callers must not modify it.
 func (e *Encoder) WordVector(word string) []float64 {
-	vec := make([]float64, e.charMap.Units())
+	e.mu.RLock()
+	vec, ok := e.wordVecs[word]
+	e.mu.RUnlock()
+	if ok {
+		return vec
+	}
+	vec = make([]float64, e.charMap.Units())
 	for _, ci := range CharInputs(word) {
 		near := e.charMap.NearestK(ci, e.cfg.BMUFanout)
 		for rank, unit := range near {
 			vec[unit] += 1 / float64(rank+1)
 		}
 	}
+	e.mu.Lock()
+	if e.wordVecs == nil {
+		e.wordVecs = make(map[string][]float64)
+	}
+	e.wordVecs[word] = vec
+	e.mu.Unlock()
 	return vec
 }
 
@@ -302,12 +330,11 @@ func (e *Encoder) trainCategory(cat string, docs []corpus.Document, seed int64) 
 		return nil, err
 	}
 
-	// BMU of every training word occurrence.
-	bmus := make([]int, len(wordVecs))
+	// BMU of every training word occurrence, sharded across workers.
+	bmus := wordMap.BMUBatch(wordVecs, e.cfg.Workers)
 	hits := make([]int, wordMap.Units())
-	for i, v := range wordVecs {
-		bmus[i] = wordMap.BMU(v)
-		hits[bmus[i]]++
+	for _, b := range bmus {
+		hits[b]++
 	}
 
 	selected := selectInformativeBMUs(hits, bmus, docRanges)

@@ -1,0 +1,73 @@
+package lgp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchExamples builds a training set shaped like the paper's workload:
+// n documents of w-word sequences over 2-dimensional word codes.
+func benchExamples(n, w int, seed int64) []Example {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Example, n)
+	for i := range out {
+		seq := make([][]float64, w)
+		for j := range seq {
+			seq[j] = []float64{rng.Float64(), rng.Float64()}
+		}
+		label := -1.0
+		if i%2 == 0 {
+			label = 1
+		}
+		out[i] = Example{Inputs: seq, Label: label}
+	}
+	return out
+}
+
+func benchTrainer(b *testing.B, workers int) *Trainer {
+	b.Helper()
+	cfg := DefaultConfig()
+	cfg.PopulationSize = 32
+	cfg.Tournaments = 10
+	cfg.DSS = nil
+	cfg.Seed = 7
+	cfg.Workers = workers
+	tr, err := NewTrainer(cfg, benchExamples(40, 30, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func BenchmarkTournament(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			tr := benchTrainer(b, workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.tournament()
+			}
+		})
+	}
+}
+
+func BenchmarkRunSequence(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.PopulationSize = 4
+	cfg.Tournaments = 1
+	cfg.DSS = nil
+	tr, err := NewTrainer(cfg, benchExamples(4, 10, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := tr.pop[0]
+	m := NewMachine(cfg.NumRegisters)
+	seq := benchExamples(1, 50, 2)[0].Inputs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RunSequence(p, seq)
+	}
+}

@@ -3,6 +3,8 @@ package lgp
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 )
 
 // Config holds the GP parameters (paper Table 2 values are the
@@ -44,6 +46,14 @@ type Config struct {
 	Fitness FitnessKind
 	// DSS enables Dynamic Subset Selection when non-nil.
 	DSS *DSSConfig
+	// Workers bounds concurrent fitness evaluations inside each
+	// tournament and in final model selection. Zero means
+	// runtime.GOMAXPROCS(0); 1 forces the serial path. All RNG draws
+	// happen before evaluations fan out and evaluation is pure, so
+	// results are bit-identical for every worker count. It is a
+	// runtime knob, not a model parameter, so it is excluded from
+	// persisted models.
+	Workers int `json:"-"`
 	// Seed drives all evolution randomness.
 	Seed int64
 }
@@ -147,6 +157,9 @@ func (c *Config) validate() error {
 			return fmt.Errorf("lgp: DSS interval %d < 1", c.DSS.Interval)
 		}
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("lgp: workers %d < 0", c.Workers)
+	}
 	return nil
 }
 
@@ -181,6 +194,17 @@ type Trainer struct {
 	rng      *rand.Rand
 	pop      []*Program
 	machine  *Machine
+	workers  int
+	// machines holds one reusable Machine per evaluation worker; worker w
+	// always uses machines[w], so no allocation happens in the fan-out.
+	machines []*Machine
+
+	// evaluation scratch, reused across tournaments
+	fullIdx   []int // 0..len(examples)-1, for FullFitness
+	tourIdx   []int // contestant population indices
+	tourProgs []*Program
+	tourFit   []float64
+	tourSeen  []bool // len(pop), reset via tourIdx after each draw
 
 	// dynamic page size state
 	pageSize    int
@@ -212,13 +236,30 @@ func NewTrainer(cfg Config, examples []Example) (*Trainer, error) {
 			}
 		}
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	t := &Trainer{
 		cfg:      cfg,
 		examples: examples,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		machine:  NewMachine(cfg.NumRegisters),
+		workers:  workers,
 		pageSize: 1,
 	}
+	t.machines = make([]*Machine, workers)
+	for i := range t.machines {
+		t.machines[i] = NewMachine(cfg.NumRegisters)
+	}
+	t.fullIdx = make([]int, len(examples))
+	for i := range t.fullIdx {
+		t.fullIdx[i] = i
+	}
+	t.tourIdx = make([]int, 0, cfg.TournamentSize)
+	t.tourProgs = make([]*Program, cfg.TournamentSize)
+	t.tourFit = make([]float64, cfg.TournamentSize)
+	t.tourSeen = make([]bool, cfg.PopulationSize)
 	t.pop = make([]*Program, cfg.PopulationSize)
 	for i := range t.pop {
 		pages := 1 + t.rng.Intn(cfg.MaxPages)
@@ -241,23 +282,33 @@ func NewTrainer(cfg Config, examples []Example) (*Trainer, error) {
 	return t, nil
 }
 
-// predict runs one example through the machine under the configured
-// recurrence mode.
+// predict runs one example through the trainer's own machine under the
+// configured recurrence mode.
 func (t *Trainer) predict(p *Program, ex *Example) float64 {
+	return t.predictOn(t.machine, p, ex)
+}
+
+// predictOn runs one example through an explicit machine — the pure
+// evaluation step that worker goroutines share-nothing over.
+func (t *Trainer) predictOn(m *Machine, p *Program, ex *Example) float64 {
 	if t.cfg.Recurrent {
-		return t.machine.RunSequence(p, ex.Inputs)
+		return m.RunSequence(p, ex.Inputs)
 	}
-	return t.machine.RunSequenceNonRecurrent(p, ex.Inputs)
+	return m.RunSequenceNonRecurrent(p, ex.Inputs)
 }
 
 // fitnessOn computes the configured objective of p over the example
 // indices. Lower is better. FitnessSSE is Equation 5; FitnessF1 is
 // (1-F1)·n plus a small SSE tie-breaker.
 func (t *Trainer) fitnessOn(p *Program, idxs []int) float64 {
+	return t.fitnessOnMachine(t.machine, p, idxs)
+}
+
+func (t *Trainer) fitnessOnMachine(m *Machine, p *Program, idxs []int) float64 {
 	var sse float64
 	var tp, fp, fn int
 	for _, i := range idxs {
-		out := t.predict(p, &t.examples[i])
+		out := t.predictOn(m, p, &t.examples[i])
 		diff := t.examples[i].Label - out
 		sse += diff * diff
 		if t.cfg.Fitness == FitnessF1 {
@@ -285,11 +336,36 @@ func (t *Trainer) fitnessOn(p *Program, idxs []int) float64 {
 
 // FullFitness computes Equation 5 over the entire training set.
 func (t *Trainer) FullFitness(p *Program) float64 {
-	idxs := make([]int, len(t.examples))
-	for i := range idxs {
-		idxs[i] = i
+	return t.fitnessOn(p, t.fullIdx)
+}
+
+// evalFitness computes fitnessOn(programs[i], idxs) for every program,
+// fanning the (pure, independent) evaluations out over the trainer's
+// worker machines. Results are written by index, so the output — and
+// therefore the whole evolutionary trajectory — is bit-identical to the
+// serial path for any worker count.
+func (t *Trainer) evalFitness(programs []*Program, idxs []int, out []float64) {
+	workers := t.workers
+	if workers > len(programs) {
+		workers = len(programs)
 	}
-	return t.fitnessOn(p, idxs)
+	if workers <= 1 {
+		for i, p := range programs {
+			out[i] = t.fitnessOnMachine(t.machines[0], p, idxs)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int, m *Machine) {
+			defer wg.Done()
+			for i := w; i < len(programs); i += workers {
+				out[i] = t.fitnessOnMachine(m, programs[i], idxs)
+			}
+		}(w, t.machines[w])
+	}
+	wg.Wait()
 }
 
 // selectSubset draws a new DSS subset by roulette over
@@ -446,11 +522,14 @@ func (t *Trainer) Run() *Result {
 		t.trackPlateau(best)
 		res.PageSizeHistory = append(res.PageSizeHistory, t.pageSize)
 	}
-	// Final model selection over the population on the full training set.
-	bestIdx, bestFit := 0, t.FullFitness(t.pop[0])
-	for i := 1; i < len(t.pop); i++ {
-		if f := t.FullFitness(t.pop[i]); f < bestFit {
-			bestIdx, bestFit = i, f
+	// Final model selection over the population on the full training set,
+	// evaluated in parallel (pure) with a deterministic serial argmin.
+	fits := make([]float64, len(t.pop))
+	t.evalFitness(t.pop, t.fullIdx, fits)
+	bestIdx, bestFit := 0, fits[0]
+	for i := 1; i < len(fits); i++ {
+		if fits[i] < bestFit {
+			bestIdx, bestFit = i, fits[i]
 		}
 	}
 	res.Best = t.pop[bestIdx].Clone()
@@ -462,38 +541,44 @@ func (t *Trainer) Run() *Result {
 // contestants: the two fittest reproduce, their children (after
 // variation) overwrite the two least fit, and the tournament-best
 // fitness is returned.
+//
+// All RNG draws (contestant selection) happen before the fitness
+// evaluations fan out across workers; evaluation itself is pure, so the
+// trajectory is bit-identical for any worker count.
 func (t *Trainer) tournament() float64 {
 	k := t.cfg.TournamentSize
-	idxs := make([]int, 0, k)
-	seen := make(map[int]bool, k)
-	for len(idxs) < k {
+	t.tourIdx = t.tourIdx[:0]
+	for len(t.tourIdx) < k {
 		i := t.rng.Intn(len(t.pop))
-		if !seen[i] {
-			seen[i] = true
-			idxs = append(idxs, i)
+		if !t.tourSeen[i] {
+			t.tourSeen[i] = true
+			t.tourIdx = append(t.tourIdx, i)
 		}
 	}
-	type contestant struct {
-		popIdx int
-		fit    float64
+	for _, i := range t.tourIdx {
+		t.tourSeen[i] = false
 	}
-	cs := make([]contestant, k)
-	for i, pi := range idxs {
-		cs[i] = contestant{pi, t.fitnessOn(t.pop[pi], t.subset)}
+	for i, pi := range t.tourIdx {
+		t.tourProgs[i] = t.pop[pi]
 	}
-	// Sort ascending by fitness (lower SSE is better).
+	fit := t.tourFit[:k]
+	t.evalFitness(t.tourProgs[:k], t.subset, fit)
+	// Sort contestants ascending by fitness (lower SSE is better),
+	// carrying the population indices along.
+	idx := t.tourIdx
 	for i := 1; i < k; i++ {
-		for j := i; j > 0 && cs[j].fit < cs[j-1].fit; j-- {
-			cs[j], cs[j-1] = cs[j-1], cs[j]
+		for j := i; j > 0 && fit[j] < fit[j-1]; j-- {
+			fit[j], fit[j-1] = fit[j-1], fit[j]
+			idx[j], idx[j-1] = idx[j-1], idx[j]
 		}
 	}
-	child1 := t.pop[cs[0].popIdx].Clone()
-	child2 := t.pop[cs[1].popIdx].Clone()
+	child1 := t.pop[idx[0]].Clone()
+	child2 := t.pop[idx[1]].Clone()
 	t.vary(child1, child2)
-	t.pop[cs[k-1].popIdx] = child1
-	t.pop[cs[k-2].popIdx] = child2
-	t.updateDifficulty(t.pop[cs[0].popIdx])
-	return cs[0].fit
+	t.pop[idx[k-1]] = child1
+	t.pop[idx[k-2]] = child2
+	t.updateDifficulty(t.pop[idx[0]])
+	return fit[0]
 }
 
 // vary applies the three variation operators additively (each with its
@@ -571,5 +656,7 @@ func (t *Trainer) trackPlateau(best float64) {
 // PageSize exposes the current dynamic page size (for tests).
 func (t *Trainer) PageSize() int { return t.pageSize }
 
-// Subset exposes the active DSS subset indices (for tests).
+// Subset returns a copy of the active DSS subset indices (for tests and
+// diagnostics). The copy allocates on every call — hoist it out of loops;
+// the trainer itself always uses the internal slice directly.
 func (t *Trainer) Subset() []int { return append([]int(nil), t.subset...) }

@@ -43,16 +43,18 @@ func (m *Map) TrainBatch(inputs [][]float64) error {
 			}
 			denom[u] = 0
 		}
-		for _, x := range inputs {
-			bmu := m.BMU(x)
+		bmus := m.BMUBatch(inputs, 0)
+		for i, x := range inputs {
+			bmu := bmus[i]
 			for u := range numer {
 				g2 := m.gridDist2(u, bmu)
 				if g2 > 9*r2 {
 					continue
 				}
 				h := math.Exp(-g2 / (2 * r2))
+				nu := numer[u]
 				for d := range x {
-					numer[u][d] += h * x[d]
+					nu[d] += h * x[d]
 				}
 				denom[u] += h
 			}
@@ -63,13 +65,14 @@ func (m *Map) TrainBatch(inputs [][]float64) error {
 			if denom[u] == 0 {
 				continue
 			}
-			w := m.weights[u]
+			w := m.Weights(u)
 			for d := range w {
 				next := numer[u][d] / denom[u]
 				change += math.Abs(next - w[d])
 				w[d] = next
 				updates++
 			}
+			m.updateNorm(u)
 		}
 		if updates > 0 {
 			m.awc = append(m.awc, change/float64(updates))
@@ -101,7 +104,7 @@ func (m *Map) UMatrix() []float64 {
 					continue
 				}
 				v := m.UnitAt(nx, ny)
-				sum += math.Sqrt(m.dist2(m.weights[u], v))
+				sum += math.Sqrt(m.dist2(m.Weights(u), v))
 				n++
 			}
 		}

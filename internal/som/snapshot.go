@@ -13,11 +13,11 @@ type Snapshot struct {
 func (m *Map) Snapshot() Snapshot {
 	s := Snapshot{
 		Config:  m.cfg,
-		Weights: make([][]float64, len(m.weights)),
+		Weights: make([][]float64, m.Units()),
 		AWC:     append([]float64(nil), m.awc...),
 	}
-	for u, w := range m.weights {
-		s.Weights[u] = append([]float64(nil), w...)
+	for u := range s.Weights {
+		s.Weights[u] = append([]float64(nil), m.Weights(u)...)
 	}
 	return s
 }
@@ -31,16 +31,21 @@ func FromSnapshot(s Snapshot) (*Map, error) {
 	if len(s.Weights) != units {
 		return nil, fmt.Errorf("som: snapshot has %d weight vectors, want %d", len(s.Weights), units)
 	}
-	weights := make([][]float64, units)
+	flat := make([]float64, 0, units*s.Config.Dim)
 	for u, w := range s.Weights {
 		if len(w) != s.Config.Dim {
 			return nil, fmt.Errorf("som: snapshot unit %d has dim %d, want %d", u, len(w), s.Config.Dim)
 		}
-		weights[u] = append([]float64(nil), w...)
+		flat = append(flat, w...)
 	}
-	return &Map{
-		cfg:     s.Config,
-		weights: weights,
-		awc:     append([]float64(nil), s.AWC...),
-	}, nil
+	m := &Map{
+		cfg:   s.Config,
+		flat:  flat,
+		norm2: make([]float64, units),
+		awc:   append([]float64(nil), s.AWC...),
+	}
+	for u := 0; u < units; u++ {
+		m.updateNorm(u)
+	}
+	return m, nil
 }

@@ -9,6 +9,12 @@
 // paper depends on this for the Gaussian membership functions built on
 // top of trained maps (section 6.2).
 //
+// Weight storage is a single contiguous []float64 (unit-major) with a
+// cached squared norm per unit, so BMU search is one cache-friendly sweep
+// using the |x−w|² = |x|² − 2x·w + |w|² identity (|x|² is constant across
+// units and drops out of the argmin). BMUBatch shards independent BMU
+// queries across workers.
+//
 // Training is deterministic for a fixed Config.Seed, which the rest of
 // the system relies on for reproducible experiments.
 package som
@@ -18,6 +24,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 )
 
 // Config parameterises map construction and training.
@@ -62,9 +70,14 @@ func (c Config) validate() error {
 
 // Map is a trained (or in-training) self-organizing map.
 type Map struct {
-	cfg     Config
-	weights [][]float64 // [unit][dim]
-	awc     []float64   // average weight change per epoch, recorded by Train
+	cfg Config
+	// flat holds every weight vector back to back (unit-major): unit u's
+	// vector is flat[u*Dim : (u+1)*Dim].
+	flat []float64
+	// norm2 caches |w_u|² per unit, maintained incrementally by the
+	// training rules, so BMU search needs only one dot product per unit.
+	norm2 []float64
+	awc   []float64 // average weight change per epoch, recorded by Train
 }
 
 // New creates a map with random initial weights in [0,1) scaled by
@@ -84,15 +97,15 @@ func New(cfg Config, initScale float64) (*Map, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	units := cfg.Width * cfg.Height
-	weights := make([][]float64, units)
-	backing := make([]float64, units*cfg.Dim)
-	for u := range weights {
-		weights[u], backing = backing[:cfg.Dim], backing[cfg.Dim:]
-		for d := range weights[u] {
-			weights[u][d] = rng.Float64() * initScale
-		}
+	flat := make([]float64, units*cfg.Dim)
+	for i := range flat {
+		flat[i] = rng.Float64() * initScale
 	}
-	return &Map{cfg: cfg, weights: weights}, nil
+	m := &Map{cfg: cfg, flat: flat, norm2: make([]float64, units)}
+	for u := 0; u < units; u++ {
+		m.updateNorm(u)
+	}
+	return m, nil
 }
 
 // Config returns the configuration the map was built with (radius and
@@ -100,14 +113,28 @@ func New(cfg Config, initScale float64) (*Map, error) {
 func (m *Map) Config() Config { return m.cfg }
 
 // Units returns the number of units on the map (Width*Height).
-func (m *Map) Units() int { return len(m.weights) }
+func (m *Map) Units() int { return len(m.norm2) }
 
 // Dim returns the weight vector dimension.
 func (m *Map) Dim() int { return m.cfg.Dim }
 
 // Weights returns the weight vector of unit u. The returned slice aliases
-// the map's storage; callers must not modify it.
-func (m *Map) Weights(u int) []float64 { return m.weights[u] }
+// the map's contiguous storage; callers must not modify it.
+func (m *Map) Weights(u int) []float64 {
+	d := m.cfg.Dim
+	return m.flat[u*d : (u+1)*d : (u+1)*d]
+}
+
+// updateNorm recomputes the cached squared norm of unit u after its
+// weight vector changed.
+func (m *Map) updateNorm(u int) {
+	w := m.Weights(u)
+	var sum float64
+	for _, v := range w {
+		sum += v * v
+	}
+	m.norm2[u] = sum
+}
 
 // Coords returns the (column, row) grid position of unit u.
 func (m *Map) Coords(u int) (x, y int) {
@@ -129,7 +156,7 @@ func (m *Map) gridDist2(a, b int) float64 {
 // weight vector.
 func (m *Map) dist2(x []float64, u int) float64 {
 	var sum float64
-	w := m.weights[u]
+	w := m.Weights(u)
 	for d := range w {
 		diff := x[d] - w[d]
 		sum += diff * diff
@@ -137,25 +164,115 @@ func (m *Map) dist2(x []float64, u int) float64 {
 	return sum
 }
 
+// dotProduct computes x·w with four accumulators, breaking the
+// loop-carried add dependency so the sweep runs at multiplier throughput
+// instead of add latency. The accumulation order is fixed, keeping BMU
+// results deterministic.
+func dotProduct(x, w []float64) float64 {
+	n := len(x)
+	w = w[:n]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += x[i] * w[i]
+		s1 += x[i+1] * w[i+1]
+		s2 += x[i+2] * w[i+2]
+		s3 += x[i+3] * w[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += x[i] * w[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// score returns |w_u|² − 2·x·w_u, the BMU ranking score: it orders units
+// exactly as squared Euclidean distance does (the |x|² term is constant
+// across units) but needs one dot product instead of a subtract-square
+// per dimension, against the cached norm.
+func (m *Map) score(x []float64, u int) float64 {
+	return m.norm2[u] - 2*dotProduct(x, m.Weights(u))
+}
+
 // BMU returns the best-matching unit for input x: the unit whose weight
 // vector has the smallest Euclidean distance to x. Ties break towards the
 // lower unit index, keeping results deterministic.
 func (m *Map) BMU(x []float64) int {
-	best, bestD := 0, math.Inf(1)
-	for u := range m.weights {
-		if d := m.dist2(x, u); d < bestD {
-			best, bestD = u, d
+	dim := len(x)
+	best, bestS := 0, math.Inf(1)
+	off := 0
+	for u, n2 := range m.norm2 {
+		// dotProduct inlined by hand (its loops defeat the inliner and a
+		// per-unit call dominates at small dims); arithmetic is identical,
+		// so BMU and score agree bit for bit.
+		w := m.flat[off : off+dim : off+dim]
+		var s0, s1, s2, s3 float64
+		i := 0
+		for ; i+4 <= dim; i += 4 {
+			s0 += x[i] * w[i]
+			s1 += x[i+1] * w[i+1]
+			s2 += x[i+2] * w[i+2]
+			s3 += x[i+3] * w[i+3]
 		}
+		for ; i < dim; i++ {
+			s0 += x[i] * w[i]
+		}
+		s := n2 - 2*((s0+s1)+(s2+s3))
+		if s < bestS {
+			best, bestS = u, s
+		}
+		off += dim
 	}
 	return best
 }
 
+// BMUBatch computes the BMU of every input, sharding the (independent)
+// searches across workers goroutines. workers <= 0 means
+// runtime.GOMAXPROCS(0). The result is positionally identical to calling
+// BMU in a loop, for any worker count.
+func (m *Map) BMUBatch(inputs [][]float64, workers int) []int {
+	out := make([]int, len(inputs))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	if workers <= 1 {
+		for i, x := range inputs {
+			out[i] = m.BMU(x)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(inputs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(inputs) {
+			hi = len(inputs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = m.BMU(inputs[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
 // NearestK returns the k units closest to input x in weight space,
 // ordered from nearest to farthest (the paper's "k most affected BMUs").
-// If k exceeds the unit count, all units are returned.
+// If k exceeds the unit count, all units are returned. Ranking uses the
+// same score as BMU, so NearestK(x, 1)[0] == BMU(x) always holds.
 func (m *Map) NearestK(x []float64, k int) []int {
-	if k > len(m.weights) {
-		k = len(m.weights)
+	if k > m.Units() {
+		k = m.Units()
 	}
 	if k <= 0 {
 		return nil
@@ -166,8 +283,8 @@ func (m *Map) NearestK(x []float64, k int) []int {
 		d float64
 	}
 	best := make([]cand, 0, k)
-	for u := range m.weights {
-		d := m.dist2(x, u)
+	for u := 0; u < m.Units(); u++ {
+		d := m.score(x, u)
 		if len(best) < k {
 			best = append(best, cand{u, d})
 			for i := len(best) - 1; i > 0 && best[i].d < best[i-1].d; i-- {
@@ -227,20 +344,47 @@ func (m *Map) Train(inputs [][]float64) error {
 			}
 			bmu := m.BMU(x)
 			r2 := radius * radius
-			for u := range m.weights {
-				g2 := m.gridDist2(u, bmu)
-				// Cut the neighbourhood at 3 radii: beyond that the
-				// Gaussian factor is negligible.
-				if g2 > 9*r2 {
-					continue
-				}
-				h := math.Exp(-g2 / (2 * r2))
-				w := m.weights[u]
-				for d := range w {
-					delta := lr * h * (x[d] - w[d])
-					w[d] += delta
-					change += math.Abs(delta)
-					updates++
+			// Only units within 3 radii of the BMU receive a non-negligible
+			// Gaussian pull; restrict the sweep to that bounding box instead
+			// of scanning the whole grid. Units inside the box but outside
+			// the circular cutoff are skipped exactly as before, so the
+			// update sequence is bit-identical to a full-grid sweep.
+			bx, by := m.Coords(bmu)
+			reach := int(3 * radius)
+			x0, x1 := bx-reach, bx+reach
+			y0, y1 := by-reach, by+reach
+			if x0 < 0 {
+				x0 = 0
+			}
+			if y0 < 0 {
+				y0 = 0
+			}
+			if x1 >= m.cfg.Width {
+				x1 = m.cfg.Width - 1
+			}
+			if y1 >= m.cfg.Height {
+				y1 = m.cfg.Height - 1
+			}
+			for gy := y0; gy <= y1; gy++ {
+				for gx := x0; gx <= x1; gx++ {
+					u := m.UnitAt(gx, gy)
+					g2 := m.gridDist2(u, bmu)
+					if g2 > 9*r2 {
+						continue
+					}
+					h := math.Exp(-g2 / (2 * r2))
+					w := m.Weights(u)
+					// Accumulate the new squared norm while updating, in the
+					// same order updateNorm would, saving a second pass.
+					var nrm float64
+					for d := range w {
+						delta := lr * h * (x[d] - w[d])
+						w[d] += delta
+						change += math.Abs(delta)
+						updates++
+						nrm += w[d] * w[d]
+					}
+					m.norm2[u] = nrm
 				}
 			}
 			step++
@@ -254,8 +398,9 @@ func (m *Map) Train(inputs [][]float64) error {
 	return nil
 }
 
-// AWC returns the average weight change recorded for each training epoch.
-// The paper uses AWC curves to choose map sizes (7x13 and 8x8).
+// AWC returns a copy of the average weight change recorded for each
+// training epoch (one allocation per call — cache the result outside
+// loops). The paper uses AWC curves to choose map sizes (7x13 and 8x8).
 func (m *Map) AWC() []float64 { return append([]float64(nil), m.awc...) }
 
 // QuantizationError returns the mean distance between each input and its
@@ -295,8 +440,8 @@ func (m *Map) TopographicError(inputs [][]float64) float64 {
 // their BMU.
 func (m *Map) HitHistogram(inputs [][]float64) []int {
 	hits := make([]int, m.Units())
-	for _, x := range inputs {
-		hits[m.BMU(x)]++
+	for _, bmu := range m.BMUBatch(inputs, 0) {
+		hits[bmu]++
 	}
 	return hits
 }
