@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fmt-check ci
+.PHONY: all build vet test race bench telemetry-smoke fmt-check ci
 
 all: build
 
@@ -25,6 +25,14 @@ bench:
 	$(GO) test -run '^$$' -bench '^Benchmark(BMU|TrainEpoch|Tournament|RunSequence|ModelScore)' -benchtime 10x \
 		./internal/som/ ./internal/lgp/ .
 
+# Telemetry bench smoke: fails the build if the disabled telemetry path
+# ever allocates. TestDisabledPathZeroAlloc asserts AllocsPerRun == 0
+# over every no-op metric call, and BenchmarkDisabledNoop keeps the
+# compiled no-op path exercised.
+telemetry-smoke:
+	$(GO) test -run 'TestDisabledPathZeroAlloc' -bench 'BenchmarkDisabledNoop' -benchtime 100x \
+		./internal/telemetry/
+
 # Fails when any tracked Go file is not gofmt-formatted.
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -32,4 +40,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet build test race bench
+ci: fmt-check vet build test race bench telemetry-smoke

@@ -29,6 +29,7 @@ import (
 	"temporaldoc/internal/hsom"
 	"temporaldoc/internal/lgp"
 	"temporaldoc/internal/som"
+	"temporaldoc/internal/telemetry"
 )
 
 var (
@@ -270,6 +271,28 @@ func BenchmarkModelScore(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	doc := &c.Test[0]
+	cat := c.Categories[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Score(cat, doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelScoreTelemetry is BenchmarkModelScore with a live
+// telemetry registry attached — compare the two for the
+// enabled-vs-disabled scoring overhead recorded in BENCH_PR2.json
+// (<5% target).
+func BenchmarkModelScoreTelemetry(b *testing.B) {
+	p, c := benchSetup(b)
+	model, err := p.TrainProSys(c, DF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model.AttachTelemetry(telemetry.NewRegistry(), nil)
 	doc := &c.Test[0]
 	cat := c.Categories[0]
 	b.ReportAllocs()

@@ -154,6 +154,7 @@ func cmdEvaluate(args []string) error {
 	scale := fs.Float64("scale", 0, "override corpus scale")
 	breakeven := fs.Bool("breakeven", false, "also report per-category P/R break-even and average precision")
 	pf := registerPerfFlags(fs)
+	tf := registerTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -166,6 +167,12 @@ func cmdEvaluate(args []string) error {
 		return err
 	}
 	defer stop()
+	ts, err := tf.start()
+	if err != nil {
+		return err
+	}
+	defer ts.close()
+	ts.apply(&p)
 	m, err := methodByName(*method)
 	if err != nil {
 		return err

@@ -57,13 +57,17 @@ func (pf *perfFlags) apply(p *experiments.Profile) (stop func(), err error) {
 		if memPath != "" {
 			f, err := os.Create(memPath)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "tdc: heap profile: %v\n", err)
+				fmt.Fprintf(os.Stderr, "tdc: create heap profile %s: %v\n", memPath, err)
 				return
 			}
-			defer f.Close()
 			runtime.GC() // flush recent frees so the profile shows live heap
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "tdc: heap profile: %v\n", err)
+				f.Close()
+				fmt.Fprintf(os.Stderr, "tdc: write heap profile %s: %v\n", memPath, err)
+				return
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "tdc: close heap profile %s: %v\n", memPath, err)
 			}
 		}
 	}, nil

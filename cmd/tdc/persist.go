@@ -24,6 +24,7 @@ func cmdTrain(args []string) error {
 	out := fs.String("out", "model.json", "output model file")
 	sgml := fs.String("sgml", "", "comma-free glob of SGML training files (default: synthetic corpus)")
 	pf := registerPerfFlags(fs)
+	tf := registerTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -36,6 +37,12 @@ func cmdTrain(args []string) error {
 		return err
 	}
 	defer stop()
+	ts, err := tf.start()
+	if err != nil {
+		return err
+	}
+	defer ts.close()
+	ts.apply(&p)
 	m, err := methodByName(*method)
 	if err != nil {
 		return err
@@ -44,16 +51,9 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "training on %d documents (%d categories)...\n",
-		len(c.Train), len(c.Categories))
+	ts.log.Info("training", "documents", len(c.Train), "categories", len(c.Categories))
 	cfg := p.CoreConfig(m)
-	cfg.Progress = func(stage, detail string) {
-		if stage == "encoder" {
-			fmt.Fprintln(os.Stderr, "  encoder trained")
-			return
-		}
-		fmt.Fprintf(os.Stderr, "  classifier ready: %s\n", detail)
-	}
+	cfg.Progress = ts.trainProgress()
 	model, err := core.Train(cfg, c)
 	if err != nil {
 		return err
@@ -71,7 +71,7 @@ func cmdTrain(args []string) error {
 	if info != nil {
 		size = info.Size()
 	}
-	fmt.Fprintf(os.Stderr, "model written to %s (%d bytes)\n", *out, size)
+	ts.log.Info("model written", "path", *out, "bytes", size)
 	return nil
 }
 
@@ -85,9 +85,15 @@ func cmdClassify(args []string) error {
 	seed := fs.Int64("seed", 0, "override profile seed")
 	scale := fs.Float64("scale", 0, "override corpus scale")
 	limit := fs.Int("limit", 20, "maximum documents to print")
+	tf := registerTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ts, err := tf.start()
+	if err != nil {
+		return err
+	}
+	defer ts.close()
 	mf, err := os.Open(*modelPath)
 	if err != nil {
 		return err
@@ -97,6 +103,9 @@ func cmdClassify(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Loaded models start silent; retrofit the session's registry so
+	// classification latency and cache hit rates land in -metrics.
+	model.AttachTelemetry(ts.reg, nil)
 	p, err := profileByName(*profile, *seed, *scale)
 	if err != nil {
 		return err

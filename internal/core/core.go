@@ -11,12 +11,14 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"temporaldoc/internal/corpus"
 	"temporaldoc/internal/featsel"
 	"temporaldoc/internal/hsom"
 	"temporaldoc/internal/lgp"
 	"temporaldoc/internal/metrics"
+	"temporaldoc/internal/telemetry"
 )
 
 // Config parameterises end-to-end training. Zero values take the paper's
@@ -59,8 +61,21 @@ type Config struct {
 	// Progress, when non-nil, is called as training advances: once when
 	// the encoder is ready ("encoder", "") and once per trained category
 	// ("category", name). Calls may come from concurrent goroutines; the
-	// callback must be safe for concurrent use.
+	// callback must be safe for concurrent use. New code should prefer
+	// Observer, which receives the same milestones (and much more) as
+	// typed TrainEvents; Progress is kept as a shim and keeps firing
+	// whether or not an Observer is installed.
 	Progress func(stage, detail string)
+	// Observer, when non-nil, receives typed TrainEvents covering SOM
+	// epochs, GP tournaments and training milestones. Events may come
+	// from concurrent goroutines. Observers are diagnostics-only: the
+	// trained model's bytes are identical with or without one attached.
+	Observer Observer
+	// Metrics, when non-nil, is the telemetry registry the pipeline
+	// records counters, gauges and latency histograms into (metric names
+	// are listed in the README). A nil registry costs nothing: every
+	// telemetry call no-ops without allocating.
+	Metrics *telemetry.Registry
 	// Seed drives every stochastic stage.
 	Seed int64
 }
@@ -130,6 +145,10 @@ type Model struct {
 	perCat    map[string]*CategoryModel
 	cats      []string
 
+	// met holds pre-resolved metric handles so the scoring hot path
+	// never pays a registry map lookup; its zero value no-ops.
+	met modelMetrics
+
 	// machinePool recycles lgp.Machine instances across Score / Trace /
 	// Evaluate calls, so scoring allocates no register files (and usually
 	// re-uses an already-decoded program) on the hot path.
@@ -186,8 +205,10 @@ func wordsHash(words []string) uint64 {
 // getMachine returns a pooled machine (or a fresh one).
 func (m *Model) getMachine() *lgp.Machine {
 	if v := m.machinePool.Get(); v != nil {
+		m.met.poolHit.Inc()
 		return v.(*lgp.Machine)
 	}
+	m.met.poolMiss.Inc()
 	return lgp.NewMachine(m.cfg.GP.NumRegisters)
 }
 
@@ -247,13 +268,29 @@ func Train(cfg Config, c *corpus.Corpus) (*Model, error) {
 		}
 		perCategory[cat] = docs
 	}
+	// Thread the telemetry sinks into the encoder; the hooks are
+	// read-only observers, so training results are unaffected.
+	if cfg.Encoder.Metrics == nil {
+		cfg.Encoder.Metrics = cfg.Metrics
+	}
+	if cfg.Encoder.Epoch == nil {
+		cfg.Encoder.Epoch = cfg.somEpochHook()
+	}
+	encSpan := cfg.Metrics.Timer("core.encoder.train.seconds").Start()
+	var encStart time.Time
+	if cfg.Observer != nil {
+		encStart = time.Now()
+	}
 	encoder, err := hsom.Train(cfg.Encoder, perCategory)
 	if err != nil {
 		return nil, fmt.Errorf("core: encoder: %w", err)
 	}
-	if cfg.Progress != nil {
-		cfg.Progress("encoder", "")
+	encSpan.End()
+	var encDur time.Duration
+	if cfg.Observer != nil {
+		encDur = time.Since(encStart)
 	}
+	cfg.emit(TrainEvent{Kind: EventEncoderReady, Duration: encDur})
 
 	m := &Model{
 		cfg:       cfg,
@@ -262,6 +299,7 @@ func Train(cfg Config, c *corpus.Corpus) (*Model, error) {
 		encoder:   encoder,
 		perCat:    make(map[string]*CategoryModel, len(c.Categories)),
 		cats:      append([]string(nil), c.Categories...),
+		met:       newModelMetrics(cfg.Metrics),
 	}
 
 	parallelism := cfg.Parallelism
@@ -269,6 +307,9 @@ func Train(cfg Config, c *corpus.Corpus) (*Model, error) {
 		parallelism = len(c.Categories)
 	}
 	sem := make(chan struct{}, parallelism)
+	catTimer := cfg.Metrics.Timer("core.category.train.seconds")
+	catCount := cfg.Metrics.Counter("core.categories.trained")
+	observing := cfg.Observer != nil || cfg.Progress != nil
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
@@ -278,9 +319,25 @@ func Train(cfg Config, c *corpus.Corpus) (*Model, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			catSpan := catTimer.Start()
+			var catStart time.Time
+			if observing {
+				catStart = time.Now()
+			}
 			cm, err := m.trainCategory(cat, c.Train)
-			if err == nil && cfg.Progress != nil {
-				cfg.Progress("category", cat)
+			catSpan.End()
+			if err == nil {
+				catCount.Inc()
+				if observing {
+					cfg.emit(TrainEvent{
+						Kind:      EventCategoryTrained,
+						Category:  cat,
+						Restart:   cm.Restart,
+						Fitness:   cm.Fitness,
+						Threshold: cm.Threshold,
+						Duration:  time.Since(catStart),
+					})
+				}
 			}
 			mu.Lock()
 			defer mu.Unlock()
@@ -344,8 +401,10 @@ func (m *Model) encodeCached(cat string, doc *corpus.Document) ([][]float64, []s
 	e, ok := m.encCache[key]
 	m.encMu.RUnlock()
 	if ok {
+		m.met.encHit.Inc()
 		return e.inputs, e.words, e.positions, nil
 	}
+	m.met.encMiss.Inc()
 	inputs, words, positions, err := m.encode(cat, doc)
 	if err != nil {
 		return nil, nil, nil, err
@@ -362,7 +421,10 @@ func (m *Model) encodeCached(cat string, doc *corpus.Document) ([][]float64, []s
 func (m *Model) trainCategory(cat string, train []corpus.Document) (*CategoryModel, error) {
 	examples := make([]lgp.Example, 0, len(train))
 	for i := range train {
-		inputs, _, _, err := m.encode(cat, &train[i])
+		// The cached path keeps training determinism (encodings are pure
+		// functions of the document) while letting the encode-cache
+		// hit/miss counters cover training workloads too.
+		inputs, _, _, err := m.encodeCached(cat, &train[i])
 		if err != nil {
 			return nil, err
 		}
@@ -378,6 +440,7 @@ func (m *Model) trainCategory(cat string, train []corpus.Document) (*CategoryMod
 	for r := 0; r < m.cfg.Restarts; r++ {
 		gpCfg := m.cfg.GP
 		gpCfg.Seed = m.cfg.Seed + int64(r)*7919 + int64(len(cat))*104729
+		gpCfg.Trace = m.gpTraceHook(cat, r)
 		trainer, err := lgp.NewTrainer(gpCfg, examples)
 		if err != nil {
 			return nil, err
@@ -388,7 +451,8 @@ func (m *Model) trainCategory(cat string, train []corpus.Document) (*CategoryMod
 		}
 	}
 
-	machine := lgp.NewMachine(m.cfg.GP.NumRegisters)
+	machine := m.getMachine()
+	defer m.putMachine(machine)
 	outs := make([]float64, len(examples))
 	for i := range examples {
 		outs[i] = m.runExample(machine, best.Best, examples[i].Inputs)
@@ -558,6 +622,7 @@ func (m *Model) Score(cat string, doc *corpus.Document) (float64, error) {
 	if cm == nil {
 		return 0, fmt.Errorf("core: category %q not trained", cat)
 	}
+	sp := m.met.scoreLat.Start()
 	inputs, _, _, err := m.encodeCached(cat, doc)
 	if err != nil {
 		return 0, err
@@ -565,6 +630,7 @@ func (m *Model) Score(cat string, doc *corpus.Document) (float64, error) {
 	machine := m.getMachine()
 	out := m.runExample(machine, cm.Program, inputs)
 	m.putMachine(machine)
+	sp.End()
 	return out, nil
 }
 
@@ -573,6 +639,8 @@ func (m *Model) Score(cat string, doc *corpus.Document) (float64, error) {
 // exceeds their thresholds, in the corpus inventory order. Multi-label
 // documents naturally receive multiple categories.
 func (m *Model) Classify(doc *corpus.Document) ([]string, error) {
+	sp := m.met.classifyLat.Start()
+	defer sp.End()
 	var out []string
 	for _, cat := range m.cats {
 		score, err := m.Score(cat, doc)
@@ -655,6 +723,7 @@ func (m *Model) Evaluate(docs []corpus.Document) (*metrics.Set, error) {
 			defer wg.Done()
 			for i := range next {
 				predicted, err := m.Classify(&docs[i])
+				m.met.evaluatedDocs.Inc()
 				if err != nil {
 					results[i] = result{err: err}
 					continue

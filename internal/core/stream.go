@@ -58,6 +58,9 @@ func (m *Model) NewStream(categories ...string) (*Stream, error) {
 // Push consumes one word and returns the categories whose state changed
 // (i.e. for which the word was a member word), with their new states.
 func (s *Stream) Push(word string) (map[string]StreamState, error) {
+	sp := s.model.met.streamPushLat.Start()
+	defer sp.End()
+	s.model.met.streamWords.Inc()
 	s.words++
 	changed := make(map[string]StreamState)
 	for _, cat := range s.cats {

@@ -29,6 +29,7 @@ import (
 	"temporaldoc/internal/metrics"
 	"temporaldoc/internal/plot"
 	"temporaldoc/internal/reuters"
+	"temporaldoc/internal/telemetry"
 )
 
 // Profile bundles the corpus scale and model budgets of one experimental
@@ -47,6 +48,12 @@ type Profile struct {
 	// document scoring). Zero keeps each stage's own default; results
 	// are bit-identical for any value.
 	Workers int
+	// Metrics, when non-nil, is threaded into core.Config.Metrics so
+	// experiment runs record pipeline telemetry. Diagnostics-only.
+	Metrics *telemetry.Registry
+	// Observer, when non-nil, receives the pipeline's typed TrainEvents
+	// for every model the experiment trains. Diagnostics-only.
+	Observer core.Observer
 }
 
 // QuickProfile returns a minutes-scale profile: ~3% corpus scale and
@@ -127,6 +134,8 @@ func (p Profile) coreConfig(method featsel.Method) core.Config {
 		GP:            p.GP,
 		Restarts:      p.Restarts,
 		Workers:       p.Workers,
+		Metrics:       p.Metrics,
+		Observer:      p.Observer,
 		Seed:          p.Seed,
 	}
 }

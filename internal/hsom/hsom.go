@@ -29,6 +29,7 @@ import (
 
 	"temporaldoc/internal/corpus"
 	"temporaldoc/internal/som"
+	"temporaldoc/internal/telemetry"
 )
 
 // Config parameterises the two SOM levels. DefaultConfig reproduces the
@@ -48,6 +49,16 @@ type Config struct {
 	// identical for any worker count. It is a runtime knob, not a
 	// model parameter, so it is excluded from persisted snapshots.
 	Workers int `json:"-"`
+	// Metrics, when non-nil, receives encoder telemetry: per-level SOM
+	// epoch gauges, BMU-batch search timings and word-vector cache
+	// hit/miss counters. Diagnostics only — never persisted, never read
+	// back, so trained encoders are bit-identical with it on or off.
+	Metrics *telemetry.Registry `json:"-"`
+	// Epoch, when non-nil, is called after every SOM training epoch of
+	// either level with the level ("char" or "word"), the category (""
+	// for the character map) and the epoch statistics. Calls arrive from
+	// the training goroutine; diagnostics only. Excluded from snapshots.
+	Epoch func(level, category string, s som.EpochStats) `json:"-"`
 	// Seed drives weight initialisation at both levels.
 	Seed int64
 }
@@ -178,11 +189,54 @@ func (ce *CategoryEncoder) SelectedBMUs() []int {
 // Hits returns the training hit histogram over all units of the map.
 func (ce *CategoryEncoder) Hits() []int { return append([]int(nil), ce.hits...) }
 
+// somObserver builds the per-epoch observer for one SOM level,
+// forwarding to Config.Epoch and recording registry metrics. Returns
+// nil — leaving the SOM's fast uninstrumented path — when telemetry is
+// fully disabled.
+func (c *Config) somObserver(level, category string) func(som.EpochStats) {
+	if c.Epoch == nil && c.Metrics == nil {
+		return nil
+	}
+	epochs := c.Metrics.Counter("hsom." + level + ".epochs")
+	qe := c.Metrics.Gauge("hsom." + level + ".quant_error")
+	radius := c.Metrics.Gauge("hsom." + level + ".radius")
+	dur := c.Metrics.Timer("hsom." + level + ".epoch.seconds")
+	cb := c.Epoch
+	return func(s som.EpochStats) {
+		epochs.Inc()
+		qe.Set(s.QuantError)
+		radius.Set(s.Radius)
+		dur.Observe(s.Duration)
+		if cb != nil {
+			cb(level, category, s)
+		}
+	}
+}
+
+// encMetrics holds the encoder's pre-resolved metric handles; the zero
+// value (nil handles) is the no-op default.
+type encMetrics struct {
+	wvHit, wvMiss *telemetry.Counter
+	bmuBatch      telemetry.Timer
+}
+
+func newEncMetrics(reg *telemetry.Registry) encMetrics {
+	if reg == nil {
+		return encMetrics{}
+	}
+	return encMetrics{
+		wvHit:    reg.Counter("hsom.wordvec.cache.hits"),
+		wvMiss:   reg.Counter("hsom.wordvec.cache.misses"),
+		bmuBatch: reg.Timer("hsom.bmu_batch.seconds"),
+	}
+}
+
 // Encoder is the full two-level architecture.
 type Encoder struct {
 	cfg        Config
 	charMap    *som.Map
 	categories map[string]*CategoryEncoder
+	met        encMetrics
 
 	// wordVecs caches the (deterministic, charMap-derived) word vector of
 	// every word ever encoded, so repeated occurrences — the common case
@@ -235,6 +289,7 @@ func Train(cfg Config, perCategory map[string][]corpus.Document) (*Encoder, erro
 		Epochs:              cfg.CharEpochs,
 		InitialLearningRate: 0.5,
 		Seed:                cfg.Seed,
+		Observer:            cfg.somObserver("char", ""),
 	}, 26)
 	if err != nil {
 		return nil, fmt.Errorf("hsom: char map: %w", err)
@@ -243,7 +298,12 @@ func Train(cfg Config, perCategory map[string][]corpus.Document) (*Encoder, erro
 		return nil, fmt.Errorf("hsom: char map training: %w", err)
 	}
 
-	enc := &Encoder{cfg: cfg, charMap: charMap, categories: make(map[string]*CategoryEncoder, len(perCategory))}
+	enc := &Encoder{
+		cfg:        cfg,
+		charMap:    charMap,
+		categories: make(map[string]*CategoryEncoder, len(perCategory)),
+		met:        newEncMetrics(cfg.Metrics),
+	}
 
 	// Level 2: one word code-book per category, in deterministic order.
 	for seedOffset, cat := range cats {
@@ -266,8 +326,10 @@ func (e *Encoder) WordVector(word string) []float64 {
 	vec, ok := e.wordVecs[word]
 	e.mu.RUnlock()
 	if ok {
+		e.met.wvHit.Inc()
 		return vec
 	}
+	e.met.wvMiss.Inc()
 	vec = make([]float64, e.charMap.Units())
 	for _, ci := range CharInputs(word) {
 		near := e.charMap.NearestK(ci, e.cfg.BMUFanout)
@@ -282,6 +344,15 @@ func (e *Encoder) WordVector(word string) []float64 {
 	e.wordVecs[word] = vec
 	e.mu.Unlock()
 	return vec
+}
+
+// AttachTelemetry points the encoder's runtime metric handles at reg
+// (nil detaches). Encoders reconstructed from snapshots start without a
+// registry; classification services attach one here. Not safe to call
+// concurrently with encoding.
+func (e *Encoder) AttachTelemetry(reg *telemetry.Registry) {
+	e.cfg.Metrics = reg
+	e.met = newEncMetrics(reg)
 }
 
 // CharMap exposes the trained first-level map.
@@ -322,6 +393,7 @@ func (e *Encoder) trainCategory(cat string, docs []corpus.Document, seed int64) 
 		InitialLearningRate: 0.3,
 		Seed:                seed,
 		Shuffle:             false,
+		Observer:            e.cfg.somObserver("word", cat),
 	}, 3)
 	if err != nil {
 		return nil, err
@@ -331,7 +403,9 @@ func (e *Encoder) trainCategory(cat string, docs []corpus.Document, seed int64) 
 	}
 
 	// BMU of every training word occurrence, sharded across workers.
+	sp := e.met.bmuBatch.Start()
 	bmus := wordMap.BMUBatch(wordVecs, e.cfg.Workers)
+	sp.End()
 	hits := make([]int, wordMap.Units())
 	for _, b := range bmus {
 		hits[b]++

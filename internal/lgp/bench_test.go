@@ -53,6 +53,42 @@ func BenchmarkTournament(b *testing.B) {
 	}
 }
 
+// benchTraceSink keeps the compiler from eliding the Trace callback.
+var benchTraceSink TournamentStats
+
+// BenchmarkTournamentTrace measures Run with and without the
+// per-tournament Trace hook. Trace is read-only, so both variants do
+// identical evolutionary work; the delta is the telemetry overhead
+// recorded in BENCH_PR2.json (<5% target).
+func BenchmarkTournamentTrace(b *testing.B) {
+	for _, traced := range []bool{false, true} {
+		name := "trace=off"
+		if traced {
+			name = "trace=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.PopulationSize = 32
+			cfg.Tournaments = 10
+			cfg.DSS = nil
+			cfg.Seed = 7
+			cfg.Workers = 1
+			if traced {
+				cfg.Trace = func(s TournamentStats) { benchTraceSink = s }
+			}
+			tr, err := NewTrainer(cfg, benchExamples(40, 30, 3))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Run()
+			}
+		})
+	}
+}
+
 func BenchmarkRunSequence(b *testing.B) {
 	cfg := DefaultConfig()
 	cfg.PopulationSize = 4

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Config holds the GP parameters (paper Table 2 values are the
@@ -54,8 +55,34 @@ type Config struct {
 	// runtime knob, not a model parameter, so it is excluded from
 	// persisted models.
 	Workers int `json:"-"`
+	// Trace, when non-nil, is called after every tournament with that
+	// tournament's statistics — the evolution-trace hook. It is
+	// diagnostics-only: the trainer never reads anything back, no RNG is
+	// touched, and the evolved programs are bit-identical with and
+	// without it. Calls arrive from the trainer's own goroutine.
+	// Excluded from persisted models.
+	Trace func(TournamentStats) `json:"-"`
 	// Seed drives all evolution randomness.
 	Seed int64
+}
+
+// TournamentStats is the per-tournament telemetry handed to
+// Config.Trace.
+type TournamentStats struct {
+	// Tournament is the 0-based tournament index.
+	Tournament int `json:"tournament"`
+	// Best and Mean are the best and mean contestant fitness on the
+	// active subset (lower is better).
+	Best float64 `json:"best"`
+	Mean float64 `json:"mean"`
+	// MeanLen is the mean contestant program length in instructions.
+	MeanLen float64 `json:"mean_len"`
+	// PageSize is the dynamic page size in effect after the tournament.
+	PageSize int `json:"page_size"`
+	// SubsetSize is the active (DSS or full) training-subset size.
+	SubsetSize int `json:"subset_size"`
+	// Duration is the tournament's wall-clock time.
+	Duration time.Duration `json:"duration_ns"`
 }
 
 // FitnessKind selects the evolutionary objective.
@@ -513,14 +540,36 @@ func (t *Trainer) Run() *Result {
 		BestHistory:     make([]float64, 0, t.cfg.Tournaments),
 		PageSizeHistory: make([]int, 0, t.cfg.Tournaments),
 	}
+	traced := t.cfg.Trace != nil
 	for tour := 0; tour < t.cfg.Tournaments; tour++ {
 		if t.cfg.DSS != nil && tour > 0 && tour%t.cfg.DSS.Interval == 0 {
 			t.selectSubset()
+		}
+		var start time.Time
+		if traced {
+			start = time.Now()
 		}
 		best := t.tournament()
 		res.BestHistory = append(res.BestHistory, best)
 		t.trackPlateau(best)
 		res.PageSizeHistory = append(res.PageSizeHistory, t.pageSize)
+		if traced {
+			var sum, lenSum float64
+			k := t.cfg.TournamentSize
+			for i := 0; i < k; i++ {
+				sum += t.tourFit[i]
+				lenSum += float64(len(t.tourProgs[i].Code))
+			}
+			t.cfg.Trace(TournamentStats{
+				Tournament: tour,
+				Best:       best,
+				Mean:       sum / float64(k),
+				MeanLen:    lenSum / float64(k),
+				PageSize:   t.pageSize,
+				SubsetSize: len(t.subset),
+				Duration:   time.Since(start),
+			})
+		}
 	}
 	// Final model selection over the population on the full training set,
 	// evaluated in parallel (pure) with a deterministic serial argmin.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 )
 
 // TrainBatch runs batch-SOM training: every epoch, each input is
@@ -31,6 +32,10 @@ func (m *Map) TrainBatch(inputs [][]float64) error {
 	}
 	m.awc = m.awc[:0]
 	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		var epochStart time.Time
+		if m.cfg.Observer != nil {
+			epochStart = time.Now()
+		}
 		t := float64(epoch) / float64(m.cfg.Epochs)
 		radius := m.cfg.InitialRadius * math.Pow(0.5/math.Max(m.cfg.InitialRadius, 1), t)
 		if radius < 0.5 {
@@ -78,6 +83,15 @@ func (m *Map) TrainBatch(inputs [][]float64) error {
 			m.awc = append(m.awc, change/float64(updates))
 		} else {
 			m.awc = append(m.awc, 0)
+		}
+		if m.cfg.Observer != nil {
+			m.cfg.Observer(EpochStats{
+				Epoch:      epoch,
+				AWC:        m.awc[len(m.awc)-1],
+				QuantError: m.QuantizationError(inputs),
+				Radius:     radius,
+				Duration:   time.Since(epochStart),
+			})
 		}
 	}
 	return nil

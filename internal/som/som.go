@@ -26,6 +26,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Config parameterises map construction and training.
@@ -50,6 +51,33 @@ type Config struct {
 	// epoch. The paper presents words "in the same order" as the corpus,
 	// so the hierarchical encoder disables shuffling.
 	Shuffle bool
+	// Observer, when non-nil, is called after every training epoch with
+	// that epoch's statistics. It is diagnostics-only: observers must not
+	// mutate the map, and training never reads anything back from them,
+	// so results are bit-identical with and without an observer. The
+	// per-epoch quantisation error is only computed when an observer is
+	// attached (it costs one BMU sweep over the inputs per epoch).
+	// Excluded from snapshots.
+	Observer func(EpochStats) `json:"-"`
+}
+
+// EpochStats is the per-epoch training telemetry handed to
+// Config.Observer.
+type EpochStats struct {
+	// Epoch is the 0-based epoch index.
+	Epoch int
+	// AWC is the epoch's average weight change (the paper's map-sizing
+	// diagnostic).
+	AWC float64
+	// QuantError is the mean input-to-BMU distance at the end of the
+	// epoch.
+	QuantError float64
+	// Radius and LearningRate are the neighbourhood radius and learning
+	// rate in effect at the end of the epoch.
+	Radius, LearningRate float64
+	// Duration is the epoch's wall-clock training time (excluding the
+	// observer's own quantisation-error sweep).
+	Duration time.Duration
 }
 
 func (c Config) validate() error {
@@ -329,11 +357,16 @@ func (m *Map) Train(inputs [][]float64) error {
 	step := 0
 	m.awc = m.awc[:0]
 	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		var epochStart time.Time
+		if m.cfg.Observer != nil {
+			epochStart = time.Now()
+		}
 		if m.cfg.Shuffle {
 			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		}
 		var change float64
 		var updates int
+		var lastLR, lastRadius float64
 		for _, idx := range order {
 			x := inputs[idx]
 			t := float64(step) / float64(totalSteps)
@@ -342,6 +375,7 @@ func (m *Map) Train(inputs [][]float64) error {
 			if radius < 0.5 {
 				radius = 0.5
 			}
+			lastLR, lastRadius = lr, radius
 			bmu := m.BMU(x)
 			r2 := radius * radius
 			// Only units within 3 radii of the BMU receive a non-negligible
@@ -393,6 +427,16 @@ func (m *Map) Train(inputs [][]float64) error {
 			m.awc = append(m.awc, change/float64(updates))
 		} else {
 			m.awc = append(m.awc, 0)
+		}
+		if m.cfg.Observer != nil {
+			m.cfg.Observer(EpochStats{
+				Epoch:        epoch,
+				AWC:          m.awc[len(m.awc)-1],
+				QuantError:   m.QuantizationError(inputs),
+				Radius:       lastRadius,
+				LearningRate: lastLR,
+				Duration:     time.Since(epochStart),
+			})
 		}
 	}
 	return nil

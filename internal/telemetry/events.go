@@ -1,0 +1,33 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// EventWriter serialises structured events as JSON Lines — the sink for
+// the evolution traces and training-event streams the CLI's -trace flag
+// produces. It is safe for concurrent use (per-category trainers emit
+// from their own goroutines) and nil-safe: a nil *EventWriter drops
+// every event.
+type EventWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewEventWriter wraps w. Each Emit writes one compact JSON document
+// followed by a newline.
+func NewEventWriter(w io.Writer) *EventWriter {
+	return &EventWriter{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event. No-op (returning nil) on a nil writer.
+func (e *EventWriter) Emit(event any) error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.enc.Encode(event)
+}

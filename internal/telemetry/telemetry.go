@@ -1,0 +1,258 @@
+// Package telemetry is the dependency-free observability layer of the
+// pipeline: a goroutine-safe registry of counters, gauges, fixed-bucket
+// histograms and timers, plus a JSONL event writer for structured
+// training traces.
+//
+// The package is built around a nil-safe no-op default: every method is
+// a no-op on a nil receiver, and a nil *Registry hands out nil metric
+// handles. Code instruments itself unconditionally —
+//
+//	reg.Counter("core.encode.hits").Inc()
+//
+// — and pays nothing (no allocation, no atomics, no time syscalls) when
+// telemetry is disabled. This is what lets the hot paths (BMU search,
+// tournament evaluation, Score) stay instrumented without perturbing
+// the benchmarks that guard them.
+//
+// Telemetry never feeds back into computation: metrics are write-only
+// from the pipeline's point of view, so enabling or disabling them
+// cannot change a trained model by a single bit (guarded by the
+// determinism regression test in internal/core).
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a goroutine-safe collection of named metrics. The zero
+// value is not usable — use NewRegistry — but a nil *Registry is: it
+// returns nil handles whose methods are all no-ops.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// (a no-op handle) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use (bounds are sorted and deduplicated;
+// an extra overflow bucket is always appended). Later calls with the
+// same name return the existing histogram regardless of bounds. Returns
+// nil (a no-op handle) on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Timer returns a timer over the named histogram of seconds, creating
+// it with LatencyBuckets on first use. Returns a nil-histogram timer (a
+// no-op) on a nil registry.
+func (r *Registry) Timer(name string) Timer {
+	if r == nil {
+		return Timer{}
+	}
+	return Timer{h: r.Histogram(name, LatencyBuckets())}
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down (last write wins).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the stored value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Bucket i holds
+// observations v with v <= Bounds[i] (and v > Bounds[i-1]); one extra
+// bucket counts overflow observations above the last bound. Observations
+// below the first bound land in bucket 0, so there is no separate
+// underflow bucket to lose samples to.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; last is overflow
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 sum, updated by CAS
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	dedup := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != bs[i-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	return &Histogram{bounds: dedup, counts: make([]atomic.Int64, len(dedup)+1)}
+}
+
+// Observe records one observation. No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Timer observes durations, as seconds, into a histogram. The zero
+// Timer is a no-op. Timers are values, not pointers, so starting and
+// ending a span allocates nothing.
+type Timer struct {
+	h *Histogram
+}
+
+// Start begins a span. On a no-op timer the span is free: no clock is
+// read and End does nothing.
+func (t Timer) Start() Span {
+	if t.h == nil {
+		return Span{}
+	}
+	return Span{h: t.h, start: time.Now()}
+}
+
+// Observe records an already-measured duration. No-op on a no-op timer.
+func (t Timer) Observe(d time.Duration) {
+	t.h.Observe(d.Seconds())
+}
+
+// Span is one in-flight timing measurement.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// End records the elapsed time since Start. No-op on a zero span.
+func (s Span) End() {
+	if s.h == nil {
+		return
+	}
+	s.h.Observe(time.Since(s.start).Seconds())
+}
+
+// LatencyBuckets returns the default histogram bounds for timers:
+// exponential from 1µs to ~8.6s (doubling), in seconds.
+func LatencyBuckets() []float64 {
+	out := make([]float64, 24)
+	b := 1e-6
+	for i := range out {
+		out[i] = b
+		b *= 2
+	}
+	return out
+}

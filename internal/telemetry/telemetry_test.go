@@ -1,0 +1,249 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Error("same name returned a different counter")
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Set(-1.25)
+	if got := g.Value(); got != -1.25 {
+		t.Errorf("gauge = %v, want -1.25", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the bucket semantics: value v lands
+// in the first bucket whose bound is >= v; values above the last bound
+// land in the overflow bucket; values below the first bound land in
+// bucket 0 (no lost underflow).
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 2, 4})
+	for _, v := range []float64{-3, 0.5, 1, 1.0001, 2, 3.9, 4, 4.0001, 100} {
+		h.Observe(v)
+	}
+	want := []int64{
+		3, // -3, 0.5, 1  (underflow folds into bucket 0; 1 <= bound 1)
+		2, // 1.0001, 2
+		2, // 3.9, 4
+		2, // 4.0001, 100 (overflow)
+	}
+	snap := r.Snapshot().Histograms["h"]
+	if !reflect.DeepEqual(snap.Counts, want) {
+		t.Errorf("bucket counts = %v, want %v", snap.Counts, want)
+	}
+	if snap.Count != 9 {
+		t.Errorf("count = %d, want 9", snap.Count)
+	}
+	wantSum := -3 + 0.5 + 1 + 1.0001 + 2 + 3.9 + 4 + 4.0001 + 100.0
+	if snap.Sum != wantSum {
+		t.Errorf("sum = %v, want %v", snap.Sum, wantSum)
+	}
+}
+
+func TestHistogramBoundsSortedDeduped(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{4, 1, 2, 2, 1})
+	if want := []float64{1, 2, 4}; !reflect.DeepEqual(h.bounds, want) {
+		t.Errorf("bounds = %v, want %v", h.bounds, want)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.count").Add(7)
+	r.Gauge("b.level").Set(0.75)
+	h := r.Histogram("c.lat", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(5)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(got, r.Snapshot()) {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", got, r.Snapshot())
+	}
+}
+
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z", []float64{1}).Observe(2)
+	sp := r.Timer("t").Start()
+	sp.End()
+	r.Timer("t").Observe(time.Second)
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", snap)
+	}
+	if r.Names() != nil {
+		t.Errorf("nil registry has names: %v", r.Names())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+}
+
+// TestDisabledPathZeroAlloc is the gate the Makefile ci target runs: the
+// nil-safe no-op path must not allocate, or disabled telemetry would
+// perturb the allocation-aware hot paths it instruments.
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", nil)
+	tm := r.Timer("t")
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1.5)
+		h.Observe(2)
+		sp := tm.Start()
+		sp.End()
+		r.Counter("fresh").Inc()
+		r.Timer("fresh").Observe(time.Millisecond)
+	}); n != 0 {
+		t.Errorf("disabled path allocates %v per op, want 0", n)
+	}
+}
+
+// TestConcurrentIncrements hammers one counter and one histogram from
+// many goroutines; totals must be exact. Run under -race via `make race`.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 16, 2000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("hist", []float64{0.5})
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				h.Observe(float64(j%2) * 1.0)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	h := r.Snapshot().Histograms["hist"]
+	if h.Count != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", h.Count, goroutines*perG)
+	}
+	if want := float64(goroutines * perG / 2); h.Sum != want {
+		t.Errorf("histogram sum = %v, want %v", h.Sum, want)
+	}
+}
+
+func TestTimerObservesSeconds(t *testing.T) {
+	r := NewRegistry()
+	r.Timer("lat").Observe(250 * time.Millisecond)
+	h := r.Snapshot().Histograms["lat"]
+	if h.Count != 1 || h.Sum != 0.25 {
+		t.Errorf("timer snapshot = %+v, want count 1 sum 0.25", h)
+	}
+	sp := r.Timer("lat").Start()
+	sp.End()
+	if got := r.Snapshot().Histograms["lat"].Count; got != 2 {
+		t.Errorf("count after span = %d, want 2", got)
+	}
+}
+
+func TestEventWriterJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewEventWriter(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if err := w.Emit(map[string]int{"g": i, "j": j}); err != nil {
+					t.Errorf("emit: %v", err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var v map[string]int
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != 400 {
+		t.Errorf("lines = %d, want 400", lines)
+	}
+	var nilW *EventWriter
+	if err := nilW.Emit("dropped"); err != nil {
+		t.Errorf("nil writer errored: %v", err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b")
+	r.Gauge("a")
+	r.Histogram("c", nil)
+	if want := []string{"a", "b", "c"}; !reflect.DeepEqual(r.Names(), want) {
+		t.Errorf("names = %v, want %v", r.Names(), want)
+	}
+}
+
+// BenchmarkDisabledNoop is the Makefile's telemetry bench smoke: the
+// disabled path must run in a few nanoseconds and allocate nothing.
+func BenchmarkDisabledNoop(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x")
+	h := r.Histogram("y", nil)
+	tm := r.Timer("t")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(1)
+		sp := tm.Start()
+		sp.End()
+	}
+}
+
+// BenchmarkEnabledHistogram records the enabled-path cost for the
+// overhead budget in BENCH_PR2.json.
+func BenchmarkEnabledHistogram(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("y", LatencyBuckets())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i&1023) * 1e-6)
+	}
+}
