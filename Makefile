@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench telemetry-smoke fmt-check ci
+.PHONY: all build vet lint lint-baseline test race bench telemetry-smoke fmt-check ci
 
 all: build
 
@@ -10,8 +10,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# tdlint is the repository's domain-specific static-analysis gate
+# (DESIGN.md §7): determinism, float-comparison hygiene, telemetry
+# discipline, flush-error handling, goroutine-spawn patterns and enum
+# exhaustiveness. Findings subtract tdlint.baseline; keep it empty.
+lint:
+	$(GO) run ./cmd/tdlint ./...
+
+# Regenerate the grandfathered-findings baseline. Prefer fixing
+# findings over baselining them; an empty baseline means a clean tree.
+lint-baseline:
+	$(GO) run ./cmd/tdlint -write-baseline ./...
+
 test:
-	$(GO) test ./...
+	$(GO) test -vet=all ./...
 
 # The race detector is the backstop for the parallel evaluation engine
 # (SOM batch BMU search, GP tournament evaluation, encode/machine
@@ -40,4 +52,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet build test race bench telemetry-smoke
+ci: fmt-check vet lint build test race bench telemetry-smoke

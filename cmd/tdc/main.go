@@ -129,16 +129,20 @@ func cmdGenerate(args []string) error {
 	if err != nil {
 		return err
 	}
-	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := reuters.RenderSGML(w, c, *seed); err != nil {
+		if err := reuters.RenderSGML(f, c, *seed); err != nil {
+			_ = f.Close()
+			return err
+		}
+		// A dropped Close error on a just-written file can hide lost data.
+		if err := f.Close(); err != nil {
+			return err
+		}
+	} else if err := reuters.RenderSGML(os.Stdout, c, *seed); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "generated %d train / %d test documents across %d categories\n",
@@ -311,8 +315,11 @@ func cmdTrace(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		if err := experiments.TraceChart(title, res, model).WriteSVG(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "SVG chart written to %s\n", *svg)

@@ -44,7 +44,7 @@ func (pf *perfFlags) apply(p *experiments.Profile) (stop func(), err error) {
 			return nil, err
 		}
 		if err := pprof.StartCPUProfile(cpuOut); err != nil {
-			cpuOut.Close()
+			_ = cpuOut.Close()
 			return nil, err
 		}
 	}
@@ -52,7 +52,9 @@ func (pf *perfFlags) apply(p *experiments.Profile) (stop func(), err error) {
 	return func() {
 		if cpuOut != nil {
 			pprof.StopCPUProfile()
-			cpuOut.Close()
+			if err := cpuOut.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "tdc: close cpu profile: %v\n", err)
+			}
 		}
 		if memPath != "" {
 			f, err := os.Create(memPath)
@@ -62,7 +64,7 @@ func (pf *perfFlags) apply(p *experiments.Profile) (stop func(), err error) {
 			}
 			runtime.GC() // flush recent frees so the profile shows live heap
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				f.Close()
+				_ = f.Close()
 				fmt.Fprintf(os.Stderr, "tdc: write heap profile %s: %v\n", memPath, err)
 				return
 			}

@@ -62,14 +62,19 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if err := model.Save(f); err != nil {
+		_ = f.Close()
 		return err
 	}
 	info, _ := f.Stat()
 	var size int64
 	if info != nil {
 		size = info.Size()
+	}
+	// Check Close before announcing success: a buffered-write failure
+	// here means the model on disk is truncated.
+	if err := f.Close(); err != nil {
+		return err
 	}
 	ts.log.Info("model written", "path", *out, "bytes", size)
 	return nil

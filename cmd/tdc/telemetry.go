@@ -206,7 +206,7 @@ func (ts *telemetrySession) trainProgress() func(stage, detail string) {
 // subcommand's own work already succeeded.
 func (ts *telemetrySession) close() {
 	if ts.listener != nil {
-		ts.listener.Close()
+		_ = ts.listener.Close()
 	}
 	if ts.metricsPath != "" {
 		if err := ts.writeSnapshot(); err != nil {
@@ -228,7 +228,7 @@ func (ts *telemetrySession) writeSnapshot() error {
 		return err
 	}
 	if err := ts.reg.WriteJSON(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

@@ -1,0 +1,121 @@
+// Command tdlint is the repository's domain-specific static-analysis
+// gate (`make lint`). It loads packages through `go list` + go/types —
+// no dependencies beyond the standard library — and applies the
+// analyzers in internal/analysis/analyzers, each of which turns one of
+// the pipeline's dynamic invariants (bit-deterministic training,
+// perturbation-free telemetry, loss-free persistence) into a
+// compile-time-checked contract. See DESIGN.md §7.
+//
+// Usage:
+//
+//	tdlint [flags] [packages]
+//
+//	-baseline file    subtract grandfathered findings (default tdlint.baseline)
+//	-write-baseline   regenerate the baseline from the current findings
+//	-checks a,b,c     run only the named checks
+//	-list             print the available checks and exit
+//
+// Suppress a single finding with an in-source directive on the same
+// line or the line above (the reason is mandatory):
+//
+//	//lint:ignore determinism seeded test-only shuffle
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"temporaldoc/internal/analysis"
+	"temporaldoc/internal/analysis/analyzers"
+	"temporaldoc/internal/analysis/driver"
+	"temporaldoc/internal/analysis/load"
+)
+
+// telemetryPath is the import path of the real telemetry package the
+// telemetrysafe contract is anchored to.
+const telemetryPath = "temporaldoc/internal/telemetry"
+
+// repoAnalyzers is the deployed suite.
+func repoAnalyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		analyzers.Determinism(),
+		analyzers.FloatCmp(),
+		analyzers.TelemetrySafe(telemetryPath),
+		analyzers.ErrDrop(),
+		analyzers.LoopCapture(),
+		analyzers.Exhaustive(),
+	}
+}
+
+// repoExcludes are the repository's path-level policy decisions, kept
+// here (not in the analyzers) so the rules themselves stay portable:
+//
+//   - determinism is off inside internal/telemetry: that package
+//     implements the timers, so it is the one place wall-clock reads
+//     are the point. Telemetry stays write-only by construction
+//     (guarded by core's byte-identity regression test), so its
+//     internals cannot leak time into models.
+func repoExcludes() map[string][]string {
+	return map[string][]string{
+		"determinism": {"internal/telemetry/"},
+	}
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	baseline := flag.String("baseline", "tdlint.baseline", "baseline file of grandfathered findings (empty to disable)")
+	writeBaseline := flag.Bool("write-baseline", false, "regenerate the baseline from current findings instead of failing")
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default all)")
+	list := flag.Bool("list", false, "list available checks and exit")
+	flag.Parse()
+
+	all := repoAnalyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	res, err := load.Packages(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tdlint: %v\n", err)
+		return 2
+	}
+	opts := driver.Options{
+		BaselinePath:  *baseline,
+		WriteBaseline: *writeBaseline,
+		Exclude:       repoExcludes(),
+	}
+	if *checks != "" {
+		opts.Checks = strings.Split(*checks, ",")
+	}
+	findings, err := driver.Run(res, all, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tdlint: %v\n", err)
+		return 2
+	}
+	if *writeBaseline {
+		fmt.Fprintf(os.Stderr, "tdlint: baseline written to %s\n", *baseline)
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Println(f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "tdlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -39,7 +39,7 @@ func main() {
 	}
 	defer func() {
 		for _, c := range closers {
-			c.Close()
+			_ = c.Close() // read-only inputs; nothing to lose on close
 		}
 	}()
 

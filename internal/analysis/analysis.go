@@ -1,0 +1,81 @@
+// Package analysis is the dependency-free static-analysis framework
+// behind cmd/tdlint. It mirrors the shape of golang.org/x/tools/go/
+// analysis — an Analyzer carries a Run function over a type-checked
+// Pass and reports Diagnostics — but is built entirely on the standard
+// library (go/parser, go/types, go/importer), so the linter adds no
+// module dependencies.
+//
+// The framework exists to turn the pipeline's hardest-won dynamic
+// properties — bit-deterministic training across worker counts,
+// byte-identical models with telemetry on or off, nil-safe zero-cost
+// telemetry — into statically checked contracts. Each analyzer in
+// internal/analysis/analyzers guards one such invariant; the driver in
+// internal/analysis/driver applies them with suppression and baseline
+// handling; cmd/tdlint is the CLI front end wired into `make lint`.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the check in diagnostics, //lint:ignore comments
+	// and the baseline file. Lowercase, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant the check
+	// guards, shown by `tdlint -help`.
+	Doc string
+	// Run inspects one type-checked package and reports findings via
+	// pass.Reportf. A non-nil error aborts the whole lint run (reserved
+	// for internal failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the parsed non-test sources of the package, with
+	// comments (suppressions are comment-driven).
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	report func(Diagnostic)
+}
+
+// NewPass assembles a pass that forwards findings to report. The driver
+// owns construction; tests may build passes directly.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic)) *Pass {
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info, report: report}
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:     pos,
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when untracked.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Pos     token.Pos
+	Check   string
+	Message string
+}
+
+// Position resolves a diagnostic against a file set.
+func (d Diagnostic) Position(fset *token.FileSet) token.Position {
+	return fset.Position(d.Pos)
+}

@@ -1,0 +1,120 @@
+// Package analysistest applies one analyzer to fixture packages under
+// a testdata module and compares the diagnostics it reports against
+// inline `// want "substring"` comments — the stdlib-only counterpart
+// of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live in a real (nested, tool-ignored) module so they load
+// through the exact `go list` + export-data path production uses:
+//
+//	testdata/src/go.mod           — module tdfix
+//	testdata/src/<check>/<...>.go — seeded violations, marked with
+//	                                // want "message substring"
+//
+// Every line carrying a want comment must produce a matching
+// diagnostic, every diagnostic must land on a line that wants it, and
+// anything else fails the test.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"temporaldoc/internal/analysis"
+	"temporaldoc/internal/analysis/load"
+)
+
+// Run loads importPath from the fixture module rooted at testdata/src,
+// applies a, and reports want-comment mismatches to t. The raw
+// diagnostics are returned for extra assertions.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPath string) []analysis.Diagnostic {
+	t.Helper()
+	res, err := load.Packages(filepath.Join(testdata, "src"), importPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", importPath, err)
+	}
+	var pkg *load.Package
+	for _, p := range res.Packages {
+		if p.ImportPath == importPath {
+			pkg = p
+		}
+	}
+	if pkg == nil {
+		t.Fatalf("package %s not among loaded packages", importPath)
+	}
+	var diags []analysis.Diagnostic
+	pass := analysis.NewPass(a, res.Fset, pkg.Files, pkg.Types, pkg.Info, func(d analysis.Diagnostic) {
+		diags = append(diags, d)
+	})
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	check(t, res.Fset, pkg, diags)
+	return diags
+}
+
+// wantKey addresses one fixture source line.
+type wantKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	substr  string
+	matched bool
+}
+
+func check(t *testing.T, fset *token.FileSet, pkg *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[wantKey][]*want{}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				pos := fset.Position(c.Pos())
+				k := wantKey{pos.Filename, pos.Line}
+				for _, substr := range parseWants(c.Text) {
+					wants[k] = append(wants[k], &want{substr: substr})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := d.Position(fset)
+		k := wantKey{pos.Filename, pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.matched && strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s",
+				filepath.Base(pos.Filename), pos.Line, d.Check, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(k.file), k.line, w.substr)
+			}
+		}
+	}
+}
+
+// parseWants extracts the quoted substrings of a `// want "a" "b"`
+// comment; non-want comments yield nothing.
+func parseWants(comment string) []string {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return nil
+	}
+	parts := strings.Split(text[len("want "):], `"`)
+	var out []string
+	for i := 1; i < len(parts); i += 2 {
+		out = append(out, parts[i])
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"temporaldoc/internal/analysis/analysistest"
+	"temporaldoc/internal/analysis/analyzers"
+)
+
+const testdata = "testdata"
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, testdata, analyzers.Determinism(), "tdfix/determinism")
+}
+
+func TestFloatCmp(t *testing.T) {
+	analysistest.Run(t, testdata, analyzers.FloatCmp(), "tdfix/floatcmp")
+}
+
+func TestTelemetrySafe(t *testing.T) {
+	// The analyzer is anchored to the fixture's stand-in telemetry
+	// package, exactly as cmd/tdlint anchors it to the real one.
+	analysistest.Run(t, testdata, analyzers.TelemetrySafe("tdfix/telemetry"), "tdfix/telemetrysafe")
+}
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, testdata, analyzers.ErrDrop(), "tdfix/errdrop")
+}
+
+func TestLoopCapture(t *testing.T) {
+	analysistest.Run(t, testdata, analyzers.LoopCapture(), "tdfix/loopcapture")
+}
+
+func TestExhaustive(t *testing.T) {
+	analysistest.Run(t, testdata, analyzers.Exhaustive(), "tdfix/exhaustive")
+}

@@ -1,0 +1,131 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"temporaldoc/internal/analysis"
+)
+
+// LoopCapture polices the two goroutine-spawn patterns that have bitten
+// parallel evaluation engines like ours:
+//
+//  1. `go func() { ... i ... }()` inside a loop, capturing the loop
+//     variable instead of passing it. Per-iteration loop variables
+//     (Go 1.22) make this safe in-process, but the engine's worker
+//     spawns pass their shard bounds explicitly — captures hide the
+//     data flow, break the moment the code is restructured into a
+//     pre-1.22-style shared variable, and resist review.
+//  2. `go func() { wg.Add(1); ... }()` — WaitGroup.Add inside the
+//     spawned goroutine races with the matching Wait: Wait can observe
+//     a zero counter and return before the goroutine starts. Add must
+//     happen on the spawning side, before `go`.
+func LoopCapture() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "loopcapture",
+		Doc:  "flags goroutines capturing loop variables instead of taking parameters, and WaitGroup.Add inside the spawned goroutine",
+		Run:  runLoopCapture,
+	}
+}
+
+func runLoopCapture(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		inspectStack(f, func(stack []ast.Node) bool {
+			g, ok := stack[len(stack)-1].(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkWaitGroupAdd(pass, lit)
+			if loop := enclosingLoop(stack); loop != nil {
+				checkLoopVarCapture(pass, lit, loop)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWaitGroupAdd reports wg.Add on an outside WaitGroup from inside
+// the spawned goroutine's body (calls nested in further function
+// literals belong to those literals, not this spawn).
+func checkWaitGroupAdd(pass *analysis.Pass, lit *ast.FuncLit) {
+	inspectStack(lit.Body, func(stack []ast.Node) bool {
+		if _, nested := stack[len(stack)-1].(*ast.FuncLit); nested {
+			return false
+		}
+		call, ok := stack[len(stack)-1].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, method := calleeMethod(pass, call)
+		if method != "Add" || !namedIs(recv, "sync", "WaitGroup") {
+			return true
+		}
+		sel := call.Fun.(*ast.SelectorExpr)
+		id := rootIdent(sel.X)
+		if id == nil {
+			return true
+		}
+		if obj := pass.Info.ObjectOf(id); obj != nil && !declaredWithin(obj, lit) {
+			pass.Reportf(call.Pos(),
+				"WaitGroup.Add inside the spawned goroutine races with Wait; call Add before the go statement")
+		}
+		return true
+	})
+}
+
+// loopVars collects the variables a for/range statement declares per
+// iteration.
+func loopVars(pass *analysis.Pass, loop ast.Node) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	add := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	switch l := loop.(type) {
+	case *ast.RangeStmt:
+		if l.Tok == token.DEFINE {
+			add(l.Key)
+			if l.Value != nil {
+				add(l.Value)
+			}
+		}
+	case *ast.ForStmt:
+		if init, ok := l.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+			for _, lhs := range init.Lhs {
+				add(lhs)
+			}
+		}
+	}
+	return vars
+}
+
+func checkLoopVarCapture(pass *analysis.Pass, lit *ast.FuncLit, loop ast.Node) {
+	vars := loopVars(pass, loop)
+	if len(vars) == 0 {
+		return
+	}
+	reported := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil || !vars[obj] || reported[obj] {
+			return true
+		}
+		reported[obj] = true
+		pass.Reportf(id.Pos(),
+			"goroutine captures loop variable %s; pass it as an argument to make the per-iteration data flow explicit", id.Name)
+		return true
+	})
+}

@@ -1,0 +1,73 @@
+// Package determinism seeds violations of the bit-reproducibility
+// contract: global RNG draws, wall-clock reads outside the stopwatch
+// pattern, and float work in map iteration order.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalRand() int {
+	return rand.Intn(10) // want "process-global Source"
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // clean: explicit seeded source
+	return r.Intn(10)
+}
+
+func wallClock() int64 {
+	t := time.Now() // want "stopwatch"
+	return t.UnixNano()
+}
+
+func stopwatch() time.Duration {
+	start := time.Now() // clean: only consumed by time.Since
+	work()
+	return time.Since(start)
+}
+
+func rearmed() (a, b time.Duration) {
+	start := time.Now() // clean: re-armed and consumed by time.Since
+	work()
+	a = time.Since(start)
+	start = time.Now()
+	work()
+	b = time.Since(start)
+	return a, b
+}
+
+func work() {}
+
+func mapAccumulate(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "map iteration order"
+	}
+	return sum
+}
+
+func mapAppendFloats(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v) // want "float-bearing"
+	}
+	return out
+}
+
+func mapCollectKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // clean: key collection carries no floats
+	}
+	return keys
+}
+
+func sliceAccumulate(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v // clean: slice order is deterministic
+	}
+	return sum
+}

@@ -1,0 +1,63 @@
+// Package errdrop seeds discarded flush-path errors next to the
+// allowed read-only, always-nil and explicit-discard shapes.
+package errdrop
+
+import (
+	"os"
+	"strings"
+)
+
+func dropClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	f.Close() // want "error from Close discarded"
+	return nil
+}
+
+func deferCreate(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "error from Close discarded"
+	_, err = f.WriteString("x")
+	return err
+}
+
+func dropWrite(f *os.File) {
+	f.WriteString("x") // want "error from WriteString discarded"
+}
+
+func deferOpen(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // clean: read-only descriptor, nothing to commit
+	return nil
+}
+
+func explicitDiscard(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_ = f.Close() // clean: deliberate, visible discard
+	return nil
+}
+
+func builder() string {
+	var b strings.Builder
+	b.WriteString("x") // clean: strings.Builder documents a nil error
+	return b.String()
+}
+
+func checked(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return f.Close() // clean: error propagated
+}

@@ -1,0 +1,51 @@
+// Package exhaustive seeds a partially handled enum-like switch next
+// to fully handled and deliberately defaulted ones.
+package exhaustive
+
+// Kind is an enum-like type: named, string-underlying, with
+// package-level constants.
+type Kind string
+
+// The members every switch must route.
+const (
+	KindA Kind = "a"
+	KindB Kind = "b"
+	KindC Kind = "c"
+)
+
+func partial(k Kind) int {
+	switch k { // want "misses KindC"
+	case KindA:
+		return 1
+	case KindB:
+		return 2
+	}
+	return 0
+}
+
+func full(k Kind) int {
+	switch k { // clean: every member handled
+	case KindA, KindB:
+		return 1
+	case KindC:
+		return 2
+	}
+	return 0
+}
+
+func defaulted(k Kind) int {
+	switch k { // clean: explicit default opts out
+	case KindA:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func dynamic(k, other Kind) int {
+	switch k { // clean: non-constant case expression is not enum dispatch
+	case other:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,36 @@
+// Package floatcmp seeds exact floating-point comparisons alongside the
+// allowed zero-guard, NaN-test and epsilon-helper shapes.
+package floatcmp
+
+func equal(a, b float64) bool {
+	return a == b // want "exact == on floats"
+}
+
+func notEqual(a, b float64) bool {
+	return a != b // want "exact != on floats"
+}
+
+func switchTag(x float64) int {
+	switch x { // want "switch on a float"
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+func zeroGuard(x float64) bool { return x == 0 } // clean: exact zero guard
+
+func nanTest(x float64) bool { return x != x } // clean: idiomatic NaN test
+
+func approxEqual(a, b float64) bool {
+	if a == b { // clean: fast path inside an epsilon helper
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-12
+}
+
+func intCompare(a, b int) bool { return a == b } // clean: not floats

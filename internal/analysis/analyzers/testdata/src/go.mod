@@ -1,0 +1,3 @@
+module tdfix
+
+go 1.22

@@ -1,0 +1,59 @@
+// Package loopcapture seeds the two goroutine-spawn hazards: loop
+// variables captured instead of passed, and WaitGroup.Add racing Wait
+// from inside the spawned goroutine.
+package loopcapture
+
+import "sync"
+
+func captures(xs []int, ch chan int) {
+	for _, x := range xs {
+		go func() {
+			ch <- x // want "captures loop variable x"
+		}()
+	}
+}
+
+func passes(xs []int, ch chan int) {
+	for _, x := range xs {
+		go func(v int) { // clean: shard passed as an argument
+			ch <- v
+		}(x)
+	}
+}
+
+func indexCapture(n int, ch chan int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			ch <- i // want "captures loop variable i"
+		}()
+	}
+}
+
+func addInside(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want "races with Wait"
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func addOutside(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1) // clean: Add on the spawning side
+		go func(i int) {
+			defer wg.Done()
+			_ = i
+		}(i)
+	}
+	wg.Wait()
+}
+
+func notALoop(ch chan int, x int) {
+	go func() {
+		ch <- x // clean: no enclosing loop
+	}()
+}

@@ -1,0 +1,50 @@
+// Package telemetry is a miniature stand-in for the real telemetry
+// package: just enough registry/handle surface for the telemetrysafe
+// fixtures to violate. The analyzer is parameterised by import path, so
+// the tests anchor it here ("tdfix/telemetry") instead of the real
+// package.
+package telemetry
+
+// Registry hands out metric handles by name.
+type Registry struct {
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{counters: map[string]*Counter{}} }
+
+// Counter returns the named counter.
+func (r *Registry) Counter(name string) *Counter { return nil }
+
+// Gauge returns the named gauge.
+func (r *Registry) Gauge(name string) *Gauge { return nil }
+
+// Timer returns the named timer.
+func (r *Registry) Timer(name string) Timer { return Timer{} }
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v int64 }
+
+// Inc increments the counter.
+func (c *Counter) Inc() {}
+
+// Gauge is a last-write-wins metric.
+type Gauge struct{ v float64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {}
+
+// Timer observes durations; the zero Timer is a documented no-op.
+type Timer struct{ h *Counter }
+
+// Start begins a span.
+func (t Timer) Start() Span { return Span{} }
+
+// Span is one in-flight measurement; the zero Span is a no-op.
+type Span struct{ h *Counter }
+
+// End finishes the span.
+func (s Span) End() {}
+
+// Do invokes fn — a package-level API the fixtures can hand closures to.
+func Do(fn func()) { fn() }

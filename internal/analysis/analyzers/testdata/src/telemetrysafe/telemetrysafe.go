@@ -1,0 +1,46 @@
+// Package telemetrysafe seeds violations of the telemetry discipline
+// against the stand-in tdfix/telemetry package.
+package telemetrysafe
+
+import "tdfix/telemetry"
+
+func badLiteral() *telemetry.Registry {
+	return &telemetry.Registry{} // want "bypasses the nil-safe registry"
+}
+
+func badCounterLiteral() *telemetry.Counter {
+	return &telemetry.Counter{} // want "bypasses the nil-safe registry"
+}
+
+func zeroTimer() telemetry.Timer {
+	return telemetry.Timer{} // clean: documented no-op zero value
+}
+
+func zeroSpan() telemetry.Span {
+	return telemetry.Span{} // clean: documented no-op zero value
+}
+
+func lookupInLoop(r *telemetry.Registry, n int) {
+	for i := 0; i < n; i++ {
+		r.Counter("fixture.iterations").Inc() // want "inside a loop"
+	}
+}
+
+func dynamicName(r *telemetry.Registry, level string) {
+	r.Counter("fixture." + level).Inc() // want "compile-time constant"
+}
+
+func hoisted(r *telemetry.Registry, n int) {
+	c := r.Counter("fixture.total") // clean: hoisted constant-name lookup
+	for i := 0; i < n; i++ {
+		c.Inc()
+	}
+}
+
+func capturingClosure(x int) {
+	telemetry.Do(func() { _ = x }) // want "closure capturing"
+}
+
+func plainClosure() {
+	telemetry.Do(func() {}) // clean: captures nothing
+}

@@ -1,0 +1,167 @@
+// Package analyzers holds the domain-specific checks behind cmd/tdlint.
+// Each analyzer guards one invariant the pipeline's tests can only spot
+// after the fact: bit-deterministic training, telemetry that cannot
+// perturb models, persistence that cannot silently lose data. See
+// DESIGN.md §7 for the catalogue.
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"temporaldoc/internal/analysis"
+)
+
+// inspectStack walks a tree keeping the ancestor stack; fn returning
+// false prunes the subtree. stack[len(stack)-1] is the current node.
+func inspectStack(root ast.Node, fn func(stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if !fn(stack) {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}
+
+// calleePkgFunc resolves a call to a package-level function and returns
+// its package path and name ("" when the call is not of that shape,
+// e.g. a method call or a conversion).
+func calleePkgFunc(pass *analysis.Pass, call *ast.CallExpr) (pkgPath, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+// calleeMethod resolves a call to a (possibly embedded) method and
+// returns the receiver's named type ("" otherwise).
+func calleeMethod(pass *analysis.Pass, call *ast.CallExpr) (recv *types.Named, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return nil, ""
+	}
+	t := selection.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named, sel.Sel.Name
+}
+
+// namedIs reports whether t is the named type pkgPath.name.
+func namedIs(t *types.Named, pkgPath, name string) bool {
+	if t == nil || t.Obj() == nil || t.Obj().Pkg() == nil {
+		return false
+	}
+	return t.Obj().Pkg().Path() == pkgPath && t.Obj().Name() == name
+}
+
+// rootIdent descends selector/index/star/paren chains to the base
+// identifier of an lvalue or receiver expression, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside node.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj != nil && obj.Pos() != 0 && node.Pos() <= obj.Pos() && obj.Pos() < node.End()
+}
+
+// hasFloat reports whether t contains a floating-point (or complex)
+// component: a bare float, a struct with a float field, or an
+// array/slice of such. Pointers and maps are not traversed.
+func hasFloat(t types.Type) bool {
+	return hasFloatDepth(t, 0)
+}
+
+func hasFloatDepth(t types.Type, depth int) bool {
+	if t == nil || depth > 8 {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsFloat|types.IsComplex) != 0
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if hasFloatDepth(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Slice:
+		return hasFloatDepth(u.Elem(), depth+1)
+	case *types.Array:
+		return hasFloatDepth(u.Elem(), depth+1)
+	}
+	return false
+}
+
+// isFloat reports whether t's core type is floating point or complex.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// enclosingLoop returns the innermost for/range statement in the stack
+// enclosing the current node, or nil.
+func enclosingLoop(stack []ast.Node) ast.Node {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return stack[i]
+		case *ast.FuncLit, *ast.FuncDecl:
+			return nil // a function boundary ends the loop's influence
+		}
+	}
+	return nil
+}
+
+// enclosingFuncBody returns the body of the innermost function
+// (declaration or literal) enclosing the current node, or nil.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}

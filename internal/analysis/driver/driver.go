@@ -1,0 +1,151 @@
+// Package driver applies analyzers to loaded packages and owns the two
+// escape hatches every static-analysis deployment needs: in-source
+// suppressions (//lint:ignore with a mandatory reason) and a checked-in
+// baseline file for grandfathered findings. Both are deliberate,
+// reviewable artifacts — the lint gate itself never silently drops a
+// finding.
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"temporaldoc/internal/analysis"
+	"temporaldoc/internal/analysis/load"
+)
+
+// Options configures one lint run.
+type Options struct {
+	// BaselinePath names the baseline file; empty disables baselining.
+	BaselinePath string
+	// WriteBaseline regenerates the baseline from the current findings
+	// instead of failing on them.
+	WriteBaseline bool
+	// Exclude maps an analyzer name to module-relative path substrings
+	// where the check does not apply (policy decisions, e.g. the time
+	// rule is off inside the telemetry package that implements timers).
+	Exclude map[string][]string
+	// Checks restricts the run to the named analyzers; empty runs all.
+	Checks []string
+}
+
+// Finding is one surviving diagnostic, resolved to a position.
+type Finding struct {
+	analysis.Diagnostic
+	Position token.Position
+	// RelPath is the module-relative source path used in output and in
+	// the baseline file.
+	RelPath string
+}
+
+// String renders the finding in the file:line:col: [check] message form
+// the Makefile target prints.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s",
+		f.RelPath, f.Position.Line, f.Position.Column, f.Check, f.Message)
+}
+
+// Run applies the analyzers to every loaded package and returns the
+// findings that survive suppressions, path excludes and the baseline,
+// sorted by position. When opts.WriteBaseline is set the surviving
+// findings are written to the baseline file instead and an empty slice
+// is returned.
+func Run(res *load.Result, analyzers []*analysis.Analyzer, opts Options) ([]Finding, error) {
+	selected, err := selectAnalyzers(analyzers, opts.Checks)
+	if err != nil {
+		return nil, err
+	}
+	var diags []analysis.Diagnostic
+	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
+	sup := newSuppressions()
+	for _, pkg := range res.Packages {
+		for _, f := range pkg.Files {
+			sup.indexFile(res.Fset, f, report)
+		}
+		for _, a := range selected {
+			pass := analysis.NewPass(a, res.Fset, pkg.Files, pkg.Types, pkg.Info, report)
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+
+	var findings []Finding
+	for _, d := range diags {
+		pos := d.Position(res.Fset)
+		rel := relPath(res.ModuleDir, pos.Filename)
+		if sup.suppressed(d.Check, pos) || excluded(opts.Exclude[d.Check], rel) {
+			continue
+		}
+		findings = append(findings, Finding{Diagnostic: d, Position: pos, RelPath: rel})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.RelPath != b.RelPath {
+			return a.RelPath < b.RelPath
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Check < b.Check
+	})
+
+	if opts.BaselinePath == "" {
+		return findings, nil
+	}
+	if opts.WriteBaseline {
+		return nil, writeBaseline(opts.BaselinePath, findings)
+	}
+	base, err := readBaseline(opts.BaselinePath)
+	if err != nil {
+		return nil, err
+	}
+	return base.filter(findings), nil
+}
+
+func selectAnalyzers(all []*analysis.Analyzer, names []string) ([]*analysis.Analyzer, error) {
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		a, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func excluded(substrings []string, relPath string) bool {
+	for _, s := range substrings {
+		if strings.Contains(relPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// relPath renders filename relative to the module root with forward
+// slashes, falling back to the input on failure.
+func relPath(moduleDir, filename string) string {
+	if moduleDir == "" {
+		return filename
+	}
+	rel, err := filepath.Rel(moduleDir, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filename
+	}
+	return filepath.ToSlash(rel)
+}

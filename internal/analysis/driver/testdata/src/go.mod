@@ -1,0 +1,3 @@
+module drvfix
+
+go 1.22

@@ -1,0 +1,13 @@
+package suppress
+
+//lint:file-ignore determinism fixture: this whole file opts out
+
+import "math/rand"
+
+func fileWide() int {
+	return rand.Int()
+}
+
+func alsoFileWide() int {
+	return rand.Int()
+}

@@ -1,0 +1,23 @@
+// Package suppress exercises the driver's suppression machinery with
+// deliberate determinism findings.
+package suppress
+
+import "math/rand"
+
+func unsuppressed() int {
+	return rand.Int()
+}
+
+func sameLine() int {
+	return rand.Int() //lint:ignore determinism fixture: suppressed on the same line
+}
+
+func lineAbove() int {
+	//lint:ignore determinism fixture: suppressed from the line above
+	return rand.Int()
+}
+
+func malformed() int {
+	//lint:ignore determinism
+	return rand.Int()
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"runtime"
 	"testing"
 
 	"temporaldoc/internal/featsel"
@@ -32,6 +33,54 @@ func TestTrainDeterministicAcrossWorkers(t *testing.T) {
 	for _, workers := range []int{4, 0} {
 		if got := persisted(workers); !bytes.Equal(got, want) {
 			t.Errorf("workers=%d: persisted model differs from the serial run", workers)
+		}
+	}
+}
+
+// TestTrainDeterministicAcrossGOMAXPROCS retrains with identical seeds
+// under different GOMAXPROCS settings — twice per setting, so repeated
+// runs on the same schedule are covered too — and requires every
+// persisted model to be byte-identical. Scheduler pressure must not
+// reorder a single float accumulation into the model; this is the
+// dynamic half of the contract tdlint's determinism analyzer checks
+// statically.
+func TestTrainDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("retrains the pipeline several times")
+	}
+	c := smallCorpus(t)
+	persisted := func() []byte {
+		cfg := fastConfig(featsel.DF)
+		cfg.GP.Tournaments = 40
+		cfg.Workers = 0 // all available parallelism at each setting
+		m, err := Train(cfg, c)
+		if err != nil {
+			t.Fatalf("Train: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+		return buf.Bytes()
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	settings := []int{1, 2}
+	if prev > 2 {
+		settings = append(settings, prev)
+	}
+	var want []byte
+	for _, procs := range settings {
+		runtime.GOMAXPROCS(procs)
+		for run := 0; run < 2; run++ {
+			got := persisted()
+			if want == nil {
+				want = got
+				continue
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("GOMAXPROCS=%d run=%d: persisted model differs from the first run", procs, run)
+			}
 		}
 	}
 }

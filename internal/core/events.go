@@ -91,6 +91,10 @@ func (c *Config) emit(e TrainEvent) {
 			c.Progress("encoder", "")
 		case EventCategoryTrained:
 			c.Progress("category", e.Category)
+		default:
+			// Epoch- and tournament-level kinds are deliberately not
+			// forwarded: Progress keeps its historical two-milestone
+			// contract.
 		}
 	}
 }

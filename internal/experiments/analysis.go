@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"temporaldoc/internal/core"
@@ -32,12 +33,17 @@ func CategoryOverlap(c *corpus.Corpus) *OverlapMatrix {
 		}
 		freqs[i] = f
 	}
-	norm := func(f map[string]float64) float64 {
-		var s float64
-		for _, v := range f {
-			s += v * v
+	// Accumulate over a sorted vocabulary, not map order: float sums
+	// depend on addition order, and the similarities feed reported
+	// numbers that must not vary run to run.
+	words := make([][]string, len(freqs))
+	for i, f := range freqs {
+		ws := make([]string, 0, len(f))
+		for w := range f {
+			ws = append(ws, w)
 		}
-		return math.Sqrt(s)
+		sort.Strings(ws)
+		words[i] = ws
 	}
 	m := &OverlapMatrix{
 		Categories: append([]string(nil), c.Categories...),
@@ -45,7 +51,12 @@ func CategoryOverlap(c *corpus.Corpus) *OverlapMatrix {
 	}
 	norms := make([]float64, len(freqs))
 	for i := range freqs {
-		norms[i] = norm(freqs[i])
+		var s float64
+		for _, w := range words[i] {
+			v := freqs[i][w]
+			s += v * v
+		}
+		norms[i] = math.Sqrt(s)
 	}
 	for i := range freqs {
 		m.Cosine[i] = make([]float64, len(freqs))
@@ -54,8 +65,8 @@ func CategoryOverlap(c *corpus.Corpus) *OverlapMatrix {
 				continue
 			}
 			var dot float64
-			for w, v := range freqs[i] {
-				dot += v * freqs[j][w]
+			for _, w := range words[i] {
+				dot += freqs[i][w] * freqs[j][w]
 			}
 			m.Cosine[i][j] = dot / (norms[i] * norms[j])
 		}

@@ -179,11 +179,16 @@ type scored struct {
 }
 
 // topN sorts by descending score (ties by ascending feature name for
-// determinism) and returns the first n feature names.
+// determinism) and returns the first n feature names. The comparator
+// orders on exact score values — an epsilon-tolerant comparator would
+// break sort transitivity.
 func topN(items []scored, n int) []string {
 	sort.Slice(items, func(i, j int) bool {
-		if items[i].score != items[j].score {
-			return items[i].score > items[j].score
+		if items[i].score > items[j].score {
+			return true
+		}
+		if items[i].score < items[j].score {
+			return false
 		}
 		return items[i].feat < items[j].feat
 	})
@@ -213,11 +218,23 @@ func docFreq(docs []corpus.Document) map[string]int {
 	return df
 }
 
+// sortedKeys returns m's keys in lexical order. Score slices are built
+// by iterating these, not the map, so their construction order is
+// stable run to run.
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
 func selectDF(train []corpus.Document, n int) *Selection {
 	df := docFreq(train)
 	items := make([]scored, 0, len(df))
-	for f, c := range df {
-		items = append(items, scored{f, float64(c)})
+	for _, f := range sortedKeys(df) {
+		items = append(items, scored{f, float64(df[f])})
 	}
 	return &Selection{Method: DF, Global: topN(items, n)}
 }
@@ -285,7 +302,8 @@ func selectIG(train []corpus.Document, categories []string, n int) *Selection {
 		}
 	}
 	items := make([]scored, 0, len(featCat))
-	for f, row := range featCat {
+	for _, f := range sortedKeys(featCat) {
+		row := featCat[f]
 		pf := float64(df[f]) / nDocs
 		pnf := 1 - pf
 		// Conditional label distributions given presence/absence.
@@ -331,7 +349,8 @@ func selectMI(train []corpus.Document, categories []string, n int) *Selection {
 	for j, cat := range categories {
 		nc := float64(catDocs[j])
 		items := make([]scored, 0, len(featCat))
-		for f, row := range featCat {
+		for _, f := range sortedKeys(featCat) {
+			row := featCat[f]
 			nf := float64(df[f])
 			nfc := float64(row[j])
 			score := miScore(nfc, nf, nc, nDocs)
@@ -374,7 +393,8 @@ func selectCHI(train []corpus.Document, categories []string, n int) *Selection {
 	for j, cat := range categories {
 		nc := float64(catDocs[j])
 		items := make([]scored, 0, len(featCat))
-		for f, row := range featCat {
+		for _, f := range sortedKeys(featCat) {
+			row := featCat[f]
 			nf := float64(df[f])
 			a := float64(row[j]) // f present, in class
 			b := nf - a          // f present, out class
@@ -412,8 +432,8 @@ func selectNouns(train []corpus.Document, categories []string, n int) *Selection
 			}
 		}
 		items := make([]scored, 0, len(freq))
-		for f, c := range freq {
-			items = append(items, scored{f, float64(c)})
+		for _, f := range sortedKeys(freq) {
+			items = append(items, scored{f, float64(freq[f])})
 		}
 		per[cat] = topN(items, n)
 	}

@@ -197,10 +197,22 @@ func (c *Config) somObserver(level, category string) func(som.EpochStats) {
 	if c.Epoch == nil && c.Metrics == nil {
 		return nil
 	}
-	epochs := c.Metrics.Counter("hsom." + level + ".epochs")
-	qe := c.Metrics.Gauge("hsom." + level + ".quant_error")
-	radius := c.Metrics.Gauge("hsom." + level + ".radius")
-	dur := c.Metrics.Timer("hsom." + level + ".epoch.seconds")
+	// Metric names are constant per level: dynamic names hide the metric
+	// namespace from grep and are an unbounded-cardinality hazard.
+	var epochs *telemetry.Counter
+	var qe, radius *telemetry.Gauge
+	var dur telemetry.Timer
+	if level == "char" {
+		epochs = c.Metrics.Counter("hsom.char.epochs")
+		qe = c.Metrics.Gauge("hsom.char.quant_error")
+		radius = c.Metrics.Gauge("hsom.char.radius")
+		dur = c.Metrics.Timer("hsom.char.epoch.seconds")
+	} else {
+		epochs = c.Metrics.Counter("hsom.word.epochs")
+		qe = c.Metrics.Gauge("hsom.word.quant_error")
+		radius = c.Metrics.Gauge("hsom.word.radius")
+		dur = c.Metrics.Timer("hsom.word.epoch.seconds")
+	}
 	cb := c.Epoch
 	return func(s som.EpochStats) {
 		epochs.Inc()

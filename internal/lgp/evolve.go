@@ -2,6 +2,7 @@ package lgp
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -500,14 +501,15 @@ func powf(base, exp float64) float64 {
 	if base <= 0 {
 		return 0
 	}
-	if exp == 1 {
+	// Small integer exponents dominate in practice. The dispatch is on
+	// exact bit patterns: exponents come verbatim from config, so only
+	// a literal 1, 2 or 3 takes a fast path.
+	switch math.Float64bits(exp) {
+	case math.Float64bits(1):
 		return base
-	}
-	// Small integer exponents dominate in practice.
-	switch exp {
-	case 2:
+	case math.Float64bits(2):
 		return base * base
-	case 3:
+	case math.Float64bits(3):
 		return base * base * base
 	}
 	out := 1.0
@@ -690,7 +692,10 @@ func (t *Trainer) trackPlateau(best float64) {
 	if t.windowCount < t.cfg.PlateauWindow {
 		return
 	}
-	if t.havePrev && t.windowSum == t.prevWindow {
+	// Bit-identical window sums define the plateau: the sums aggregate
+	// the same deterministic fitness values, so an exactly repeated
+	// window really does repeat bit for bit.
+	if t.havePrev && math.Float64bits(t.windowSum) == math.Float64bits(t.prevWindow) {
 		t.pageSize *= 2
 		if t.pageSize > t.cfg.MaxPageSize {
 			t.pageSize = 1

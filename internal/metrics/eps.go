@@ -1,0 +1,27 @@
+package metrics
+
+import "math"
+
+// approxTol is the relative tolerance of ApproxEqual: generous enough
+// to absorb the rounding drift of a few dependent operations, tight
+// enough that genuinely distinct decision scores stay distinct.
+const approxTol = 1e-12
+
+// ApproxEqual reports whether a and b are equal within a relative
+// tolerance of 1e-12 (absolute near zero). It is the package's standard
+// for comparing computed floating-point quantities — thresholds,
+// decision scores, F1 values — where exact == would silently demand
+// that both sides took bit-identical arithmetic paths. The result is a
+// pure function of its inputs, so replacing == with ApproxEqual keeps
+// training bit-deterministic.
+func ApproxEqual(a, b float64) bool {
+	if a == b { // fast path; also handles equal infinities
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale <= 1 {
+		return diff <= approxTol
+	}
+	return diff <= scale*approxTol
+}

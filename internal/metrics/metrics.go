@@ -129,8 +129,8 @@ func (s *Set) MacroF1() float64 {
 		return 0
 	}
 	var sum float64
-	for _, t := range s.tables {
-		sum += t.F1()
+	for _, cat := range s.Categories() {
+		sum += s.tables[cat].F1()
 	}
 	return sum / float64(len(s.tables))
 }
@@ -156,8 +156,8 @@ func (s *Set) MacroPrecision() float64 {
 		return 0
 	}
 	var sum float64
-	for _, t := range s.tables {
-		sum += t.Precision()
+	for _, cat := range s.Categories() {
+		sum += s.tables[cat].Precision()
 	}
 	return sum / float64(len(s.tables))
 }
@@ -168,8 +168,8 @@ func (s *Set) MacroRecall() float64 {
 		return 0
 	}
 	var sum float64
-	for _, t := range s.tables {
-		sum += t.Recall()
+	for _, cat := range s.Categories() {
+		sum += s.tables[cat].Recall()
 	}
 	return sum / float64(len(s.tables))
 }

@@ -48,7 +48,9 @@ func PRCurve(scores []float64, labels []bool) ([]PRPoint, error) {
 		} else {
 			fp++
 		}
-		if i+1 < len(ps) && ps[i+1].s == ps[i].s {
+		// Epsilon-close scores share one curve point, mirroring
+		// BestF1Threshold's candidate grouping.
+		if i+1 < len(ps) && ApproxEqual(ps[i+1].s, ps[i].s) {
 			continue
 		}
 		out = append(out, PRPoint{

@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Significance testing for classifier comparisons, following the
@@ -211,13 +212,21 @@ func Compare(aCorrect, bCorrect []bool, aF1, bF1 map[string]float64) (*Compariso
 	if err != nil {
 		return nil, err
 	}
+	// Pair the scores in sorted category order: the t statistic sums
+	// floating-point differences, so map iteration order would change
+	// its low bits run to run.
+	cats := make([]string, 0, len(aF1))
+	for cat := range aF1 {
+		cats = append(cats, cat)
+	}
+	sort.Strings(cats)
 	var av, bv []float64
-	for cat, a := range aF1 {
+	for _, cat := range cats {
 		b, ok := bF1[cat]
 		if !ok {
 			return nil, fmt.Errorf("metrics: category %q missing from second system", cat)
 		}
-		av = append(av, a)
+		av = append(av, aF1[cat])
 		bv = append(bv, b)
 	}
 	t, df, tp, err := PairedTTest(av, bv)

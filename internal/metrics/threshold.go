@@ -38,7 +38,10 @@ func BestF1Threshold(scores []float64, labels []bool) float64 {
 			fp++
 		}
 		// Threshold just below ps[i].s: everything up to i is positive.
-		if i+1 < len(ps) && ps[i+1].s == ps[i].s {
+		// Epsilon-close scores are grouped as one candidate — a midpoint
+		// between scores closer than the tolerance would be a degenerate
+		// threshold no classifier could sit on reliably.
+		if i+1 < len(ps) && ApproxEqual(ps[i+1].s, ps[i].s) {
 			continue
 		}
 		fn := totalPos - tp

@@ -76,10 +76,12 @@ func (c *Chart) WriteSVG(w io.Writer) error {
 	if c.FixedY {
 		yMin, yMax = c.YMin, c.YMax
 	}
-	if xMax == xMin {
+	// Degenerate (or collapsed-to-a-point) ranges get unit width; <=
+	// rather than == so the guard is not an exact float comparison.
+	if xMax <= xMin {
 		xMax = xMin + 1
 	}
-	if yMax == yMin {
+	if yMax <= yMin {
 		yMax = yMin + 1
 	}
 	sx := func(x float64) float64 { return float64(marginL) + (x-xMin)/(xMax-xMin)*plotW }

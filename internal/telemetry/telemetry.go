@@ -170,7 +170,9 @@ func newHistogram(bounds []float64) *Histogram {
 	sort.Float64s(bs)
 	dedup := bs[:0]
 	for i, b := range bs {
-		if i == 0 || b != bs[i-1] {
+		// Bit comparison: only exact duplicates collapse into one
+		// bucket; epsilon-close bounds are distinct buckets by intent.
+		if i == 0 || math.Float64bits(b) != math.Float64bits(bs[i-1]) {
 			dedup = append(dedup, b)
 		}
 	}
