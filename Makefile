@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-baseline test race bench telemetry-smoke fmt-check ci
+.PHONY: all build vet lint lint-baseline test race bench telemetry-smoke fuzz-smoke fmt-check ci
 
 all: build
 
@@ -18,9 +18,20 @@ lint:
 	$(GO) run ./cmd/tdlint ./...
 
 # Regenerate the grandfathered-findings baseline. Prefer fixing
-# findings over baselining them; an empty baseline means a clean tree.
+# findings over baselining them; an empty baseline means a clean tree,
+# and this target refuses to leave it otherwise. Set ALLOW_BASELINE=1
+# to deliberately grandfather findings (say why in the commit message).
 lint-baseline:
 	$(GO) run ./cmd/tdlint -write-baseline ./...
+	@if grep -v '^#' tdlint.baseline | grep -q .; then \
+		if [ "$$ALLOW_BASELINE" = "1" ]; then \
+			echo "lint-baseline: WARNING: baseline is non-empty (ALLOW_BASELINE=1 set)"; \
+		else \
+			echo "lint-baseline: baseline is non-empty; fix the findings instead, or re-run with ALLOW_BASELINE=1:"; \
+			grep -v '^#' tdlint.baseline; \
+			exit 1; \
+		fi; \
+	fi
 
 test:
 	$(GO) test -vet=all ./...
@@ -45,6 +56,17 @@ telemetry-smoke:
 	$(GO) test -run 'TestDisabledPathZeroAlloc' -bench 'BenchmarkDisabledNoop' -benchtime 100x \
 		./internal/telemetry/
 
+# Short fuzz smoke over the parsing and numeric kernels: the SGML
+# corpus reader, the LGP program decoder and interpreter, and the text
+# normaliser. ~10s per target — enough to catch regressions in input
+# handling, not a soak. Go allows one -fuzz pattern per run, hence one
+# invocation per target.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseSGML$$' -fuzztime 10s ./internal/reuters/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseProgram$$' -fuzztime 10s ./internal/lgp/
+	$(GO) test -run '^$$' -fuzz '^FuzzMachineStep$$' -fuzztime 10s ./internal/lgp/
+	$(GO) test -run '^$$' -fuzz '^FuzzProcess$$' -fuzztime 10s ./internal/textproc/
+
 # Fails when any tracked Go file is not gofmt-formatted.
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -52,4 +74,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet lint build test race bench telemetry-smoke
+ci: fmt-check vet lint build test race bench telemetry-smoke fuzz-smoke

@@ -19,6 +19,9 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"temporaldoc/internal/analysis/callgraph"
+	"temporaldoc/internal/analysis/facts"
 )
 
 // Analyzer is one named static check.
@@ -29,6 +32,13 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of the invariant the check
 	// guards, shown by `tdlint -help`.
 	Doc string
+	// Facts, when non-nil, makes the analyzer interprocedural: the
+	// driver runs it once per package in dependency order, before any
+	// Run, to compute per-function summaries into pass.Facts. Each
+	// package's facts are sealed (serialized) before its importers run,
+	// so summaries cross package boundaries the same way export data
+	// does. Facts must not report diagnostics — that is Run's job.
+	Facts func(pass *Pass) error
 	// Run inspects one type-checked package and reports findings via
 	// pass.Reportf. A non-nil error aborts the whole lint run (reserved
 	// for internal failures, not findings).
@@ -44,6 +54,13 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+
+	// Graph is the whole-program call graph over every analyzed
+	// package. Nil when the driver ran without interprocedural context.
+	Graph *callgraph.Graph
+	// Facts is this analyzer's cross-package fact store; non-nil only
+	// for analyzers that declare a Facts phase.
+	Facts *facts.Store
 
 	report func(Diagnostic)
 }

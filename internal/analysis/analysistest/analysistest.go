@@ -22,12 +22,20 @@ import (
 	"testing"
 
 	"temporaldoc/internal/analysis"
+	"temporaldoc/internal/analysis/callgraph"
+	"temporaldoc/internal/analysis/facts"
 	"temporaldoc/internal/analysis/load"
 )
 
 // Run loads importPath from the fixture module rooted at testdata/src,
 // applies a, and reports want-comment mismatches to t. The raw
 // diagnostics are returned for extra assertions.
+//
+// Interprocedural analyzers get the same treatment production does:
+// the call graph spans every loaded fixture package (the target and
+// its in-module dependencies), and a Facts phase runs over them in
+// dependency order with per-package sealing, so a fixture can exercise
+// cross-package fact propagation.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPath string) []analysis.Diagnostic {
 	t.Helper()
 	res, err := load.Packages(filepath.Join(testdata, "src"), importPath)
@@ -43,10 +51,39 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPath string)
 	if pkg == nil {
 		t.Fatalf("package %s not among loaded packages", importPath)
 	}
+
+	cgPkgs := make([]callgraph.Pkg, 0, len(res.Packages))
+	for _, p := range res.Packages {
+		cgPkgs = append(cgPkgs, callgraph.Pkg{Files: p.Files, Info: p.Info})
+	}
+	graph := callgraph.Build(cgPkgs)
+	var store *facts.Store
+	if a.Facts != nil {
+		store = facts.NewStore()
+		for _, p := range load.DependencyOrder(res.Packages) {
+			if err := store.Begin(p.ImportPath); err != nil {
+				t.Fatal(err)
+			}
+			pass := analysis.NewPass(a, res.Fset, p.Files, p.Types, p.Info, func(d analysis.Diagnostic) {
+				t.Errorf("%s: facts phase reported a diagnostic: %s", a.Name, d.Message)
+			})
+			pass.Graph = graph
+			pass.Facts = store
+			if err := a.Facts(pass); err != nil {
+				t.Fatalf("%s: facts: %s: %v", a.Name, p.ImportPath, err)
+			}
+			if err := store.Seal(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
 	var diags []analysis.Diagnostic
 	pass := analysis.NewPass(a, res.Fset, pkg.Files, pkg.Types, pkg.Info, func(d analysis.Diagnostic) {
 		diags = append(diags, d)
 	})
+	pass.Graph = graph
+	pass.Facts = store
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("%s: %v", a.Name, err)
 	}

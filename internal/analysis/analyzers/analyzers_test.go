@@ -34,3 +34,24 @@ func TestLoopCapture(t *testing.T) {
 func TestExhaustive(t *testing.T) {
 	analysistest.Run(t, testdata, analyzers.Exhaustive(), "tdfix/exhaustive")
 }
+
+func TestPurity(t *testing.T) {
+	// Entry points configured the way cmd/tdlint configures the real
+	// training paths; the fixture's cross-package chain goes through
+	// tdfix/purityhelp's sealed facts.
+	analysistest.Run(t, testdata,
+		analyzers.Purity([]string{"purity.Train", "purity.Encode"}, nil),
+		"tdfix/purity")
+}
+
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, testdata, analyzers.LockCheck(), "tdfix/lockcheck")
+}
+
+func TestNilErr(t *testing.T) {
+	analysistest.Run(t, testdata, analyzers.NilErr(), "tdfix/nilerr")
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, testdata, analyzers.HotAlloc(), "tdfix/hotalloc")
+}

@@ -57,15 +57,24 @@ func runDeterminism(pass *analysis.Pass) error {
 }
 
 func checkRandCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if name, ok := randGlobalCall(pass, call); ok {
+		pass.Reportf(call.Pos(),
+			"rand.%s draws from the process-global Source; thread a rand.New(rand.NewSource(seed)) from config for reproducible training", name)
+	}
+}
+
+// randGlobalCall matches calls to math/rand package-level functions
+// that draw from the shared global Source; shared with the purity
+// analyzer.
+func randGlobalCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
 	pkg, name := calleePkgFunc(pass, call)
 	if pkg != "math/rand" && pkg != "math/rand/v2" {
-		return
+		return "", false
 	}
 	if randConstructors[name] {
-		return
+		return "", false
 	}
-	pass.Reportf(call.Pos(),
-		"rand.%s draws from the process-global Source; thread a rand.New(rand.NewSource(seed)) from config for reproducible training", name)
+	return name, true
 }
 
 // checkTimeNow allows time.Now only in the stopwatch pattern: the
@@ -73,16 +82,21 @@ func checkRandCall(pass *analysis.Pass, call *ast.CallExpr) {
 // time.Since argument (or a re-arming `v = time.Now()`), so wall-clock
 // time can feed duration telemetry but nothing else.
 func checkTimeNow(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	if timeNowViolation(pass, call, stack) {
+		pass.Reportf(call.Pos(),
+			"time.Now outside the stopwatch pattern (a variable used only by time.Since); wall-clock values must not reach model state")
+	}
+}
+
+// timeNowViolation reports whether call is a time.Now read outside the
+// stopwatch pattern; shared with the purity analyzer.
+func timeNowViolation(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) bool {
 	if pkg, name := calleePkgFunc(pass, call); pkg != "time" || name != "Now" {
-		return
+		return false
 	}
 	obj := stopwatchTarget(pass, call, stack)
 	body := enclosingFuncBody(stack)
-	if obj != nil && body != nil && stopwatchOnly(pass, obj, body) {
-		return
-	}
-	pass.Reportf(call.Pos(),
-		"time.Now outside the stopwatch pattern (a variable used only by time.Since); wall-clock values must not reach model state")
+	return obj == nil || body == nil || !stopwatchOnly(pass, obj, body)
 }
 
 // stopwatchTarget returns the variable a `v := time.Now()`-shaped
@@ -142,13 +156,37 @@ func stopwatchOnly(pass *analysis.Pass, obj types.Object, body *ast.BlockStmt) b
 // (Collecting keys into a slice for sorting appends key-typed values,
 // typically strings or ints, and stays clean.)
 func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	for _, f := range mapOrderFloatFindings(pass, rng) {
+		if f.append {
+			pass.Reportf(f.pos,
+				"appending float-bearing values in map iteration order is nondeterministic; collect and sort keys first")
+		} else {
+			pass.Reportf(f.pos,
+				"floating-point accumulation in map iteration order is nondeterministic (addition is not associative); iterate sorted keys")
+		}
+	}
+}
+
+// mapOrderFinding is one order-dependent float operation inside a map
+// range: a compound accumulation, or an append of float-bearing values.
+type mapOrderFinding struct {
+	pos    token.Pos
+	append bool
+}
+
+// mapOrderFloatFindings detects order-dependent floating-point work in
+// a range statement; shared by the determinism analyzer (which reports
+// each site) and the purity analyzer (which turns them into
+// per-function facts).
+func mapOrderFloatFindings(pass *analysis.Pass, rng *ast.RangeStmt) []mapOrderFinding {
 	t := pass.TypeOf(rng.X)
 	if t == nil {
-		return
+		return nil
 	}
 	if _, isMap := t.Underlying().(*types.Map); !isMap {
-		return
+		return nil
 	}
+	var out []mapOrderFinding
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
 		assign, ok := n.(*ast.AssignStmt)
 		if !ok {
@@ -158,44 +196,45 @@ func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
 		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
 			lhs := assign.Lhs[0]
 			if isFloat(pass.TypeOf(lhs)) && outsideTarget(pass, lhs, rng) {
-				pass.Reportf(assign.Pos(),
-					"floating-point accumulation in map iteration order is nondeterministic (addition is not associative); iterate sorted keys")
+				out = append(out, mapOrderFinding{pos: assign.Pos()})
 			}
 		case token.ASSIGN, token.DEFINE:
 			for _, rhs := range assign.Rhs {
-				checkFloatAppend(pass, rhs, rng)
+				if pos, ok := floatAppendPos(pass, rhs, rng); ok {
+					out = append(out, mapOrderFinding{pos: pos, append: true})
+				}
 			}
 		default:
 			// Other assignment tokens (%=, &=, ...) are integer-only.
 		}
 		return true
 	})
+	return out
 }
 
-// checkFloatAppend flags `s = append(s, v...)` inside a map range when
+// floatAppendPos matches `s = append(s, v...)` inside a map range when
 // s lives outside the loop and v carries floats.
-func checkFloatAppend(pass *analysis.Pass, e ast.Expr, rng *ast.RangeStmt) {
+func floatAppendPos(pass *analysis.Pass, e ast.Expr, rng *ast.RangeStmt) (token.Pos, bool) {
 	call, ok := e.(*ast.CallExpr)
 	if !ok || len(call.Args) < 2 {
-		return
+		return 0, false
 	}
 	fn, ok := call.Fun.(*ast.Ident)
 	if !ok || fn.Name != "append" {
-		return
+		return 0, false
 	}
 	if _, isBuiltin := pass.Info.Uses[fn].(*types.Builtin); !isBuiltin {
-		return
+		return 0, false
 	}
 	if !outsideTarget(pass, call.Args[0], rng) {
-		return
+		return 0, false
 	}
 	for _, arg := range call.Args[1:] {
 		if hasFloat(pass.TypeOf(arg)) {
-			pass.Reportf(call.Pos(),
-				"appending float-bearing values in map iteration order is nondeterministic; collect and sort keys first")
-			return
+			return call.Pos(), true
 		}
 	}
+	return 0, false
 }
 
 // outsideTarget reports whether the root variable of e is declared

@@ -1,0 +1,334 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"temporaldoc/internal/analysis"
+	"temporaldoc/internal/analysis/cfg"
+)
+
+// LockCheck enforces mutex discipline on the shared state the training
+// pipeline mutates from worker goroutines (telemetry registries, the
+// shared word-vector cache, evaluation scratch pools). It runs a
+// may-held dataflow over each function's control-flow graph:
+//
+//   - a mutex acquired on some path but not released on every path to
+//     return is reported at the function (the classic early-return leak);
+//     a deferred Unlock credits every exit path,
+//   - Lock while the same mutex may already be held is a self-deadlock,
+//   - Unlock without a matching Lock on the path panics at runtime,
+//   - spawning a goroutine or sending on a channel while a lock is held
+//     couples the lock's hold time to scheduler behaviour: a slow or
+//     absent receiver extends the critical section indefinitely,
+//   - passing a sync.Mutex (or a struct containing one) by value splits
+//     the lock state between the copies.
+//
+// The analysis is per-path, not per-goroutine: it cannot see a lock
+// released by a different goroutine, so hand-off patterns need a
+// //lint:ignore with the protocol spelled out.
+func LockCheck() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "lockcheck",
+		Doc: "CFG-based mutex discipline: unlock on every path, no double-lock, no unlock " +
+			"without lock, no goroutine spawn or channel send under a held lock, no mutex copies",
+		Run: runLockCheck,
+	}
+}
+
+func runLockCheck(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkMutexCopies(pass, decl)
+			if decl.Body != nil {
+				lockFlow(pass, decl)
+			}
+		}
+	}
+	return nil
+}
+
+// checkMutexCopies flags receivers and parameters that carry a mutex by
+// value: the callee locks its private copy while callers race on the
+// original.
+func checkMutexCopies(pass *analysis.Pass, decl *ast.FuncDecl) {
+	check := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, field := range fields.List {
+			t := pass.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if containsMutex(t, 0) {
+				pass.Reportf(field.Pos(),
+					"%s carries a sync mutex by value; the copy's lock state diverges from the original — take a pointer", cfg.FuncName(decl))
+			}
+		}
+	}
+	check(decl.Recv)
+	check(decl.Type.Params)
+}
+
+// containsMutex reports whether t is, or (transitively, by value)
+// contains, a sync.Mutex or sync.RWMutex.
+func containsMutex(t types.Type, depth int) bool {
+	if t == nil || depth > 8 {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		if namedIs(named, "sync", "Mutex") || namedIs(named, "sync", "RWMutex") {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsMutex(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsMutex(u.Elem(), depth+1)
+	}
+	return false
+}
+
+// mutexOp is one Lock/Unlock-family call on a trackable mutex
+// expression. Read locks get their own key ("mu/R") so RLock pairs with
+// RUnlock, not Unlock.
+type mutexOp struct {
+	key     string
+	acquire bool
+}
+
+// asMutexOp matches calls to the sync package's Lock/Unlock/RLock/
+// RUnlock methods — directly (s.mu.Lock()) or through embedding
+// (s.Lock()) — on a receiver expression stable enough to name.
+func asMutexOp(pass *analysis.Pass, call *ast.CallExpr) (mutexOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return mutexOp{}, false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return mutexOp{}, false
+	}
+	base := lockExprString(sel.X)
+	if base == "" {
+		return mutexOp{}, false
+	}
+	switch fn.Name() {
+	case "Lock":
+		return mutexOp{key: base, acquire: true}, true
+	case "Unlock":
+		return mutexOp{key: base, acquire: false}, true
+	case "RLock":
+		return mutexOp{key: base + "/R", acquire: true}, true
+	case "RUnlock":
+		return mutexOp{key: base + "/R", acquire: false}, true
+	}
+	return mutexOp{}, false
+}
+
+// lockExprString renders a mutex receiver as a stable path ("mu",
+// "s.mu", "reg.counters"); expressions with computed parts (index,
+// calls) are not trackable and return "".
+func lockExprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if base := lockExprString(x.X); base != "" {
+			return base + "." + x.Sel.Name
+		}
+	case *ast.ParenExpr:
+		return lockExprString(x.X)
+	case *ast.StarExpr:
+		return lockExprString(x.X)
+	}
+	return ""
+}
+
+// displayKey turns a held-set key back into the user-facing name.
+func displayKey(key string) string {
+	if s, ok := strings.CutSuffix(key, "/R"); ok {
+		return s + " (read lock)"
+	}
+	return key
+}
+
+type heldSet map[string]bool
+
+func (h heldSet) clone() heldSet {
+	out := make(heldSet, len(h))
+	for k := range h {
+		out[k] = true
+	}
+	return out
+}
+
+func (h heldSet) equal(o heldSet) bool {
+	if len(h) != len(o) {
+		return false
+	}
+	for k := range h {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (h heldSet) names() string {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, displayKey(k))
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+// lockFlow runs the may-held analysis over decl's CFG and reports
+// violations in a final, deterministic sweep.
+func lockFlow(pass *analysis.Pass, decl *ast.FuncDecl) {
+	g := cfg.New(cfg.FuncName(decl), decl.Body)
+
+	// Deferred unlocks credit every path into Exit (including through a
+	// deferred closure).
+	deferred := heldSet{}
+	for _, d := range g.Defers {
+		ast.Inspect(d, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if op, ok := asMutexOp(pass, call); ok && !op.acquire {
+					deferred[op.key] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Fixpoint: in[b] = union of predecessors' outs; transfer applies
+	// the block's lock operations in source order.
+	ins := make([]heldSet, len(g.Blocks))
+	for i := range ins {
+		ins[i] = heldSet{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			out := lockTransfer(pass, b, ins[b.Index], nil)
+			for _, succ := range b.Succs {
+				union := ins[succ.Index].clone()
+				for k := range out {
+					union[k] = true
+				}
+				if !union.equal(ins[succ.Index]) {
+					ins[succ.Index] = union
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Reporting sweep with the converged in-states.
+	for _, b := range g.Blocks {
+		lockTransfer(pass, b, ins[b.Index], func(pos ast.Node, format string, args ...interface{}) {
+			pass.Reportf(pos.Pos(), format, args...)
+		})
+	}
+
+	// Exit imbalance: whatever may still be held at Exit and is not
+	// released by a defer leaked past a return.
+	leaked := []string{}
+	for k := range ins[g.Exit.Index] {
+		if !deferred[k] {
+			leaked = append(leaked, k)
+		}
+	}
+	sort.Strings(leaked)
+	for _, k := range leaked {
+		pass.Reportf(decl.Name.Pos(),
+			"%s may still be held when %s returns; unlock on every path or defer the unlock",
+			displayKey(k), cfg.FuncName(decl))
+	}
+}
+
+// lockTransfer applies one block's operations to held (mutating a
+// clone) and returns the out-state. With report non-nil it also emits
+// diagnostics; the fixpoint passes nil.
+func lockTransfer(pass *analysis.Pass, b *cfg.Block, in heldSet, report func(ast.Node, string, ...interface{})) heldSet {
+	held := in.clone()
+	apply := func(n ast.Node) {
+		lockWalk(n, func(sub ast.Node) {
+			switch x := sub.(type) {
+			case *ast.GoStmt:
+				if report != nil && len(held) > 0 {
+					report(x, "goroutine started while %s is held; the critical section now outlives this frame", held.names())
+				}
+			case *ast.SendStmt:
+				if report != nil && len(held) > 0 {
+					report(x, "channel send while %s is held; a slow receiver stretches the critical section", held.names())
+				}
+			case *ast.CallExpr:
+				op, ok := asMutexOp(pass, x)
+				if !ok {
+					return
+				}
+				if op.acquire {
+					if report != nil && held[op.key] {
+						report(x, "%s locked while it may already be held on this path (self-deadlock)", displayKey(op.key))
+					}
+					held[op.key] = true
+				} else {
+					if report != nil && !held[op.key] {
+						report(x, "%s unlocked without a matching lock on this path", displayKey(op.key))
+					}
+					delete(held, op.key)
+				}
+			}
+		})
+	}
+	for _, s := range b.Stmts {
+		// A range statement in a head block carries its whole body, but
+		// only the range expression is evaluated here; the body's
+		// statements live in their own blocks.
+		if rs, ok := s.(*ast.RangeStmt); ok {
+			apply(rs.X)
+			continue
+		}
+		apply(s)
+	}
+	if b.Cond != nil {
+		apply(b.Cond)
+	}
+	return held
+}
+
+// lockWalk visits n's relevant nodes in source order, without
+// descending into deferred calls (they run at exit, credited
+// separately) or function literals (a different frame's path).
+func lockWalk(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.DeferStmt, *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			visit(n)
+			return false // the spawned body runs elsewhere
+		case *ast.SendStmt, *ast.CallExpr:
+			visit(n)
+		}
+		return true
+	})
+}

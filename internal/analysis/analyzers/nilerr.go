@@ -1,0 +1,409 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"temporaldoc/internal/analysis"
+	"temporaldoc/internal/analysis/cfg"
+)
+
+// NilErr guards the error-flow contract around the corpus and model I/O
+// boundaries (SGML parsing, snapshot persistence): a dropped or
+// inverted error there silently truncates training data. It runs a
+// flow-sensitive must-analysis over each function's CFG, tracking for
+// every error variable whether it has been compared against nil and, on
+// each branch, whether it is known non-nil:
+//
+//   - a result sibling of an unchecked error (`f, err := Open(...)`)
+//     dereferenced before any `err != nil` comparison is a latent nil
+//     dereference — the failure case hands back a zero value,
+//   - the same dereference inside the `err != nil` branch uses a value
+//     the callee already disowned,
+//   - `return ..., nil` while some error variable is known non-nil
+//     swallows the failure: the caller sees success and keeps going on
+//     truncated state.
+//
+// Branch facts come from the CFG's condition edges: `err != nil` makes
+// err known-non-nil on the true edge and known-nil on the false edge
+// (and checked on both); joins intersect, so a fact only survives when
+// every path agrees.
+func NilErr() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "nilerr",
+		Doc: "flow-sensitive error hygiene: no result use before the error is checked, " +
+			"no result use on the failure path, no nil error returned while one is known non-nil",
+		Run: runNilErr,
+	}
+}
+
+func runNilErr(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if decl, ok := d.(*ast.FuncDecl); ok && decl.Body != nil {
+				nilErrFlow(pass, decl)
+			}
+		}
+	}
+	return nil
+}
+
+// errVarState is the per-error-variable dataflow fact.
+type errVarState struct {
+	checked bool // compared against nil on every path here
+	nonnil  bool // known non-nil on every path here
+}
+
+// errState maps tracked error variables to their facts. A nil map is
+// the "unvisited" sentinel (top), distinct from an empty map.
+type errState map[types.Object]errVarState
+
+func (s errState) clone() errState {
+	out := make(errState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func (s errState) equal(o errState) bool {
+	if (s == nil) != (o == nil) || len(s) != len(o) {
+		return false
+	}
+	for k, v := range s {
+		if o[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// meet intersects two states; facts survive only when both sides agree.
+func meet(a, b errState) errState {
+	if a == nil {
+		return b.clone()
+	}
+	out := errState{}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok {
+			continue
+		}
+		out[k] = errVarState{checked: va.checked && vb.checked, nonnil: va.nonnil && vb.nonnil}
+	}
+	return out
+}
+
+// resultPair is one `v, err := call(...)` site: the error variable and
+// the nil-able sibling results whose use is gated on checking it.
+type resultPair struct {
+	err      types.Object
+	siblings map[types.Object]bool
+	assigned token.Pos
+	callName string
+}
+
+// nilErrFlow analyses one declaration.
+func nilErrFlow(pass *analysis.Pass, decl *ast.FuncDecl) {
+	pairs := collectPairs(pass, decl.Body)
+	g := cfg.New(cfg.FuncName(decl), decl.Body)
+
+	errResult := funcReturnsError(pass, decl)
+
+	// Optimistic fixpoint: entry starts empty, everything else
+	// unvisited; in[b] is the meet over predecessor edge-outs.
+	ins := make([]errState, len(g.Blocks))
+	ins[0] = errState{}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			if ins[b.Index] == nil {
+				continue
+			}
+			out := nilErrTransfer(pass, pairs, b, ins[b.Index], false, nil)
+			for i, succ := range b.Succs {
+				edge := applyEdgeFact(pass, b, i, out)
+				next := meet(ins[succ.Index], edge)
+				if !next.equal(ins[succ.Index]) {
+					ins[succ.Index] = next
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Reporting sweep with converged in-states.
+	for _, b := range g.Blocks {
+		if ins[b.Index] == nil {
+			continue // unreachable
+		}
+		nilErrTransfer(pass, pairs, b, ins[b.Index], errResult, func(pos token.Pos, format string, args ...interface{}) {
+			pass.Reportf(pos, format, args...)
+		})
+	}
+}
+
+// collectPairs finds `v, err := call(...)` assignments (outside nested
+// function literals) whose sibling results are nil-able and therefore
+// worth gating on the error check.
+func collectPairs(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]*resultPair {
+	pairs := map[types.Object]*resultPair{}
+	inspectStack(body, func(stack []ast.Node) bool {
+		if _, ok := stack[len(stack)-1].(*ast.FuncLit); ok {
+			return false
+		}
+		assign, ok := stack[len(stack)-1].(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) < 2 || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var errObj types.Object
+		sibs := map[types.Object]bool{}
+		for _, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.Info.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			if isErrorType(obj.Type()) {
+				errObj = obj
+			} else if isNilable(obj.Type()) {
+				sibs[obj] = true
+			}
+		}
+		if errObj != nil && len(sibs) > 0 {
+			name := lockExprString(call.Fun)
+			if name == "" {
+				name = "the call"
+			}
+			pairs[errObj] = &resultPair{err: errObj, siblings: sibs, assigned: assign.Pos(), callName: name}
+		}
+		return true
+	})
+	return pairs
+}
+
+// nilErrTransfer applies one block's statements to the state (on a
+// clone) and returns the out-state. With report non-nil it also emits
+// diagnostics; errResult gates the nil-return check on the function
+// actually returning an error.
+func nilErrTransfer(pass *analysis.Pass, pairs map[types.Object]*resultPair, b *cfg.Block, in errState, errResult bool, report func(token.Pos, string, ...interface{})) errState {
+	st := in.clone()
+	for _, s := range b.Stmts {
+		// A range statement in a head block carries its whole body, but
+		// only the range expression is evaluated here; the body's
+		// statements live in their own blocks.
+		var node ast.Node = s
+		if rs, ok := s.(*ast.RangeStmt); ok {
+			node = rs.X
+		}
+		// Uses are evaluated before any assignment in the same
+		// statement lands, so report first, then apply effects.
+		if report != nil {
+			reportSiblingUses(pass, pairs, node, st, report)
+			if errResult {
+				reportNilReturn(pass, s, st, report)
+			}
+		}
+		applyStmt(pass, pairs, node, st)
+	}
+	if b.Cond != nil && report != nil {
+		reportSiblingUses(pass, pairs, b.Cond, st, report)
+	}
+	return st
+}
+
+// applyStmt updates the state for one statement: a tracked `v, err :=
+// call` arms the pair (unchecked, not known non-nil); any other write
+// to a tracked error variable drops stale facts.
+func applyStmt(pass *analysis.Pass, pairs map[types.Object]*resultPair, s ast.Node, st errState) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.ObjectOf(id)
+				if obj == nil || !isErrorType(obj.Type()) {
+					continue
+				}
+				st[obj] = errVarState{} // (re-)armed: unchecked again
+			}
+		case *ast.UnaryExpr:
+			// &err escapes the variable; stop asserting facts about it.
+			if x.Op == token.AND {
+				if id, ok := x.X.(*ast.Ident); ok {
+					if obj := pass.Info.ObjectOf(id); obj != nil {
+						delete(st, obj)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportSiblingUses flags dereference-shaped uses of a pair's sibling
+// value while its error is unchecked or known non-nil.
+func reportSiblingUses(pass *analysis.Pass, pairs map[types.Object]*resultPair, root ast.Node, st errState, report func(token.Pos, string, ...interface{})) {
+	bySibling := map[types.Object]*resultPair{}
+	for _, p := range pairs {
+		for s := range p.siblings {
+			bySibling[s] = p
+		}
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		id := derefBase(n)
+		if id == nil {
+			return true
+		}
+		obj := pass.Info.ObjectOf(id)
+		pair, ok := bySibling[obj]
+		if !ok || id.Pos() < pair.assigned {
+			return true
+		}
+		switch state := st[pair.err]; {
+		case state.nonnil:
+			report(id.Pos(), "%s is used on the failure path (%s returned a non-nil error); the value is not valid there",
+				id.Name, pair.callName)
+		case !state.checked:
+			report(id.Pos(), "%s is used before the error from %s is checked; on failure this dereferences a zero value",
+				id.Name, pair.callName)
+		}
+		return true
+	})
+}
+
+// derefBase returns the identifier being dereferenced when n is a
+// dereference-shaped expression (sel, index, star, call-of-value).
+func derefBase(n ast.Node) *ast.Ident {
+	switch x := n.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			return id
+		}
+	case *ast.IndexExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			return id
+		}
+	case *ast.StarExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			return id
+		}
+	}
+	return nil
+}
+
+// reportNilReturn flags `return ..., nil` while some tracked error is
+// known non-nil: the failure is swallowed.
+func reportNilReturn(pass *analysis.Pass, s ast.Stmt, st errState, report func(token.Pos, string, ...interface{})) {
+	ret, ok := s.(*ast.ReturnStmt)
+	if !ok || len(ret.Results) == 0 {
+		return
+	}
+	last := ret.Results[len(ret.Results)-1]
+	id, ok := last.(*ast.Ident)
+	if !ok || id.Name != "nil" {
+		return
+	}
+	for obj, state := range st {
+		if state.nonnil {
+			report(ret.Pos(), "returns a nil error while %s is known non-nil; the failure is swallowed — return %s or wrap it",
+				obj.Name(), obj.Name())
+			return
+		}
+	}
+}
+
+// applyEdgeFact refines the out-state along one CFG edge using the
+// block's condition: `err != nil` / `err == nil` set checked on both
+// edges and known-non-nil on the matching one.
+func applyEdgeFact(pass *analysis.Pass, b *cfg.Block, succIdx int, out errState) errState {
+	if b.Cond == nil {
+		return out
+	}
+	obj, eq := nilComparison(pass, b.Cond)
+	if obj == nil {
+		return out
+	}
+	st := out.clone()
+	// Succs[0] is the true edge. err != nil true → non-nil;
+	// err == nil true → nil.
+	nonnilEdge := (succIdx == 0) != eq
+	st[obj] = errVarState{checked: true, nonnil: nonnilEdge}
+	return st
+}
+
+// nilComparison matches `x != nil` / `x == nil` over an error-typed
+// identifier, returning the object and whether the operator is ==.
+func nilComparison(pass *analysis.Pass, cond ast.Expr) (types.Object, bool) {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return nil, false
+	}
+	x, y := bin.X, bin.Y
+	if isNilIdent(y) {
+		// x op nil
+	} else if isNilIdent(x) {
+		x = y
+	} else {
+		return nil, false
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := pass.Info.ObjectOf(id)
+	if obj == nil || !isErrorType(obj.Type()) {
+		return nil, false
+	}
+	return obj, bin.Op == token.EQL
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// funcReturnsError reports whether decl's last result is an error.
+func funcReturnsError(pass *analysis.Pass, decl *ast.FuncDecl) bool {
+	fn, ok := pass.Info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	return isErrorType(sig.Results().At(sig.Results().Len() - 1).Type())
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isNilable reports whether t's zero value is nil.
+func isNilable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Map, *types.Slice, *types.Signature, *types.Chan:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,145 @@
+// Fixture for the hotalloc analyzer: //tdlint:hotpath functions must
+// not allocate per call. Unannotated functions allocate freely.
+package hotalloc
+
+type vec struct {
+	x, y float64
+}
+
+var scratch []float64
+
+func sink(v interface{}) { _ = v }
+
+func sinkConcrete(v float64) { _ = v }
+
+// Dot is the shape the annotation is for: arithmetic only.
+//
+//tdlint:hotpath
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// EscapingLit heap-allocates a struct per call.
+//
+//tdlint:hotpath
+func EscapingLit(x, y float64) *vec {
+	return &vec{x: x, y: y} // want "&vec escapes to the heap on every call"
+}
+
+// ValueLit builds the struct by value: stays on the stack, clean.
+//
+//tdlint:hotpath
+func ValueLit(x, y float64) vec {
+	return vec{x: x, y: y}
+}
+
+// SliceLit allocates backing storage per call.
+//
+//tdlint:hotpath
+func SliceLit(x float64) float64 {
+	ws := []float64{x, 2 * x} // want "slice literal allocates on every call"
+	return ws[0] + ws[1]
+}
+
+// MapLit allocates a map per call.
+//
+//tdlint:hotpath
+func MapLit(x float64) float64 {
+	m := map[string]float64{"x": x} // want "map literal allocates on every call"
+	return m["x"]
+}
+
+// Closure captures its accumulator.
+//
+//tdlint:hotpath
+func Closure(xs []float64) float64 {
+	total := 0.0
+	add := func(v float64) { total += v } // want "closure captures total and allocates on every call"
+	for _, x := range xs {
+		add(x)
+	}
+	return total
+}
+
+// ParamClosure takes everything through parameters: clean.
+//
+//tdlint:hotpath
+func ParamClosure(xs []float64) float64 {
+	add := func(a, b float64) float64 { return a + b }
+	s := 0.0
+	for _, x := range xs {
+		s = add(s, x)
+	}
+	return s
+}
+
+// AppendGrow reallocates O(log n) times per call.
+//
+//tdlint:hotpath
+func AppendGrow(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		out = append(out, x*x) // want "append grows out inside a loop without preallocation"
+	}
+	return out
+}
+
+// AppendPrealloc sizes the slice up front: clean.
+//
+//tdlint:hotpath
+func AppendPrealloc(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x*x)
+	}
+	return out
+}
+
+// AppendToParam appends into caller-owned storage: the caller sized it.
+//
+//tdlint:hotpath
+func AppendToParam(dst, xs []float64) []float64 {
+	for _, x := range xs {
+		dst = append(dst, x*x)
+	}
+	return dst
+}
+
+// Boxes converts a float into an interface per call.
+//
+//tdlint:hotpath
+func Boxes(x float64) {
+	sink(x) // want "passing x boxes a concrete float64 into interface{}"
+}
+
+// BoxAssign boxes through an assignment.
+//
+//tdlint:hotpath
+func BoxAssign(x float64) interface{} {
+	var v interface{}
+	v = x // want "assigning x boxes a concrete float64 into interface{}"
+	return v
+}
+
+// ConcreteCall keeps everything concrete: clean.
+//
+//tdlint:hotpath
+func ConcreteCall(x float64) {
+	sinkConcrete(x)
+}
+
+// coldPath is unannotated: every banned shape is fine here.
+func coldPath(xs []float64) *vec {
+	out := []float64{}
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	sink(out)
+	f := func(v float64) { out = append(out, v) }
+	f(1)
+	return &vec{x: out[0]}
+}

@@ -1,0 +1,138 @@
+// Fixture for the lockcheck analyzer: CFG-based mutex discipline.
+package lockcheck
+
+import "sync"
+
+type registry struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	items map[string]int
+}
+
+// BalancedStraight locks and unlocks on the single path: clean.
+func (r *registry) BalancedStraight(k string) int {
+	r.mu.Lock()
+	v := r.items[k]
+	r.mu.Unlock()
+	return v
+}
+
+// DeferBalanced defers the unlock: clean on every path.
+func (r *registry) DeferBalanced(k string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.items[k]
+}
+
+// DeferClosure releases through a deferred closure: still credited.
+func (r *registry) DeferClosure(k string) int {
+	r.mu.Lock()
+	defer func() { r.mu.Unlock() }()
+	return r.items[k]
+}
+
+// LeakOnBranch forgets the unlock on the early return.
+func (r *registry) LeakOnBranch(k string) int { // want "r.mu may still be held when (*registry).LeakOnBranch returns"
+	r.mu.Lock()
+	if v, ok := r.items[k]; ok {
+		return v // leaks r.mu
+	}
+	r.mu.Unlock()
+	return 0
+}
+
+// DoubleLock re-acquires a mutex it may already hold.
+func (r *registry) DoubleLock() {
+	r.mu.Lock()
+	r.mu.Lock() // want "r.mu locked while it may already be held"
+	r.mu.Unlock()
+}
+
+// UnlockFirst releases a lock it never took.
+func (r *registry) UnlockFirst() {
+	r.mu.Unlock() // want "r.mu unlocked without a matching lock"
+}
+
+// GoUnderLock spawns a goroutine inside the critical section.
+func (r *registry) GoUnderLock(done chan struct{}) {
+	r.mu.Lock()
+	go func() { // want "goroutine started while r.mu is held"
+		<-done
+	}()
+	r.mu.Unlock()
+}
+
+// SendUnderLock blocks on a channel inside the critical section.
+func (r *registry) SendUnderLock(out chan int, k string) {
+	r.mu.Lock()
+	out <- r.items[k] // want "channel send while r.mu is held"
+	r.mu.Unlock()
+}
+
+// SendAfterUnlock hands off outside the critical section: clean.
+func (r *registry) SendAfterUnlock(out chan int, k string) {
+	r.mu.Lock()
+	v := r.items[k]
+	r.mu.Unlock()
+	out <- v
+}
+
+// ReadBalanced pairs RLock with RUnlock: clean, and independent of the
+// write-lock key.
+func (r *registry) ReadBalanced(k string) int {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	return r.items[k]
+}
+
+// ReadLeak pairs RLock with nothing.
+func (r *registry) ReadLeak(k string) int { // want "r.rw (read lock) may still be held"
+	r.rw.RLock()
+	return r.items[k]
+}
+
+// LoopBalanced locks and unlocks per iteration: the back edge carries
+// no held locks, so no double-lock false positive.
+func (r *registry) LoopBalanced(keys []string) int {
+	total := 0
+	for _, k := range keys {
+		r.mu.Lock()
+		total += r.items[k]
+		r.mu.Unlock()
+	}
+	return total
+}
+
+// ByValue receives the mutex owner by value: the lock state diverges.
+func ByValue(r registry) { // want "ByValue carries a sync mutex by value"
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+// ParamMutex takes a bare mutex by value.
+func ParamMutex(mu sync.Mutex) { // want "ParamMutex carries a sync mutex by value"
+	mu.Lock()
+	mu.Unlock()
+}
+
+// PointerParam is the correct shape: clean.
+func PointerParam(r *registry) {
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+type embedded struct {
+	sync.Mutex
+	n int
+}
+
+// Embedded locks through the promoted method; the early return leaks
+// the promoted mutex too.
+func (e *embedded) Embedded(stop bool) int { // want "e may still be held when (*embedded).Embedded returns"
+	e.Lock()
+	if stop {
+		return 0
+	}
+	e.Unlock()
+	return e.n
+}

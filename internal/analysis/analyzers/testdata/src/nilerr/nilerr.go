@@ -1,0 +1,112 @@
+// Fixture for the nilerr analyzer: flow-sensitive error hygiene.
+package nilerr
+
+import "errors"
+
+type doc struct {
+	Title string
+	Body  []byte
+}
+
+func open(name string) (*doc, error) {
+	if name == "" {
+		return nil, errors.New("empty name")
+	}
+	return &doc{Title: name}, nil
+}
+
+func do() error { return nil }
+
+// UseBeforeCheck dereferences the result before looking at the error.
+func UseBeforeCheck(name string) string {
+	d, err := open(name)
+	t := d.Title // want "d is used before the error from open is checked"
+	if err != nil {
+		return ""
+	}
+	return t
+}
+
+// UseOnFailurePath dereferences the result inside the err != nil branch.
+func UseOnFailurePath(name string) string {
+	d, err := open(name)
+	if err != nil {
+		return d.Title // want "d is used on the failure path (open returned a non-nil error)"
+	}
+	return d.Title
+}
+
+// CheckedThenUse is the canonical shape: clean.
+func CheckedThenUse(name string) (string, error) {
+	d, err := open(name)
+	if err != nil {
+		return "", err
+	}
+	return d.Title, nil
+}
+
+// EqNilForm checks with ==: the happy path is the true branch.
+func EqNilForm(name string) (string, error) {
+	d, err := open(name)
+	if err == nil {
+		return d.Title, nil
+	}
+	return "", err
+}
+
+// NilOnFailure returns a nil error from the branch where err is known
+// non-nil: the caller sees success on truncated state.
+func NilOnFailure(name string) (*doc, error) {
+	d, err := open(name)
+	if err != nil {
+		return nil, nil // want "returns a nil error while err is known non-nil"
+	}
+	return d, nil
+}
+
+// NilAfterRecovery re-arms err before the return: clean.
+func NilAfterRecovery(name string) (*doc, error) {
+	d, err := open(name)
+	if err != nil {
+		err = do()
+		if err != nil {
+			return nil, err
+		}
+		return &doc{}, nil
+	}
+	return d, nil
+}
+
+// JoinKillsFact: after the branches merge, err is no longer known
+// non-nil, so the final nil return is clean.
+func JoinKillsFact(name string) (*doc, error) {
+	d, err := open(name)
+	if err != nil {
+		d = &doc{}
+	}
+	return d, nil
+}
+
+// LoopRecheck re-arms the error each iteration; the use after the
+// check stays clean across the back edge.
+func LoopRecheck(names []string) []string {
+	var out []string
+	for _, n := range names {
+		d, err := open(n)
+		if err != nil {
+			continue
+		}
+		out = append(out, d.Title)
+	}
+	return out
+}
+
+// IndexBeforeCheck dereferences a slice-typed sibling.
+func IndexBeforeCheck(name string) byte {
+	d, err := open(name)
+	b := d.Body[0] // want "d is used before the error from open is checked"
+	if err != nil {
+		return 0
+	}
+	return b
+}

@@ -1,0 +1,109 @@
+// Fixture for the purity analyzer. Entry points (configured in the
+// test as "purity.Train" and "purity.Encode") must not transitively
+// reach global RNG, non-stopwatch time.Now, or map-order float
+// accumulation. Non-entry functions never get reports — their impurity
+// only matters when an entry can reach it.
+package purity
+
+import (
+	"math/rand"
+	"time"
+
+	"tdfix/purityhelp"
+)
+
+// TrainDirect reaches the global RNG in its own body (one hop).
+func TrainDirect(n int) int { // want "TrainDirect is a training entry point but reaches nondeterminism: math/rand.Intn"
+	return rand.Intn(n)
+}
+
+// TrainChained reaches the global RNG through a helper: the two-hop
+// chain entry → helper → math/rand the intraprocedural determinism
+// analyzer cannot see from here.
+func TrainChained(n int) int { // want "reaches nondeterminism: helper → math/rand.Intn"
+	return helper(n)
+}
+
+func helper(n int) int {
+	return rand.Intn(n)
+}
+
+// TrainCrossPkg reaches the global RNG through an imported package's
+// sealed facts.
+func TrainCrossPkg(xs []int) { // want "reaches nondeterminism: purityhelp.Shuffle → math/rand.Shuffle"
+	purityhelp.Shuffle(xs)
+}
+
+// TrainClock reaches a wall-clock read that is not a stopwatch.
+func TrainClock() int64 { // want "reaches nondeterminism: clockHelper → time.Now"
+	return clockHelper()
+}
+
+func clockHelper() int64 {
+	return time.Now().UnixNano()
+}
+
+// TrainMapOrder reaches order-dependent float accumulation.
+func TrainMapOrder(m map[string]float64) float64 { // want "reaches nondeterminism: accumulate → map-order float accumulation"
+	return accumulate(m)
+}
+
+func accumulate(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// TrainSeeded threads explicit sources all the way down: clean.
+func TrainSeeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n) + purityhelp.SeededPick(seed, n) + purityhelp.Sum([]int{n})
+}
+
+// TrainStopwatch times itself the allowed way: clean.
+func TrainStopwatch(xs []int) (int, time.Duration) {
+	start := time.Now()
+	s := purityhelp.Sum(xs)
+	return s, time.Since(start)
+}
+
+// TrainAnnotated calls an opted-out helper: the annotation is a
+// barrier, so the entry stays clean.
+func TrainAnnotated(xs []int) {
+	demoShuffle(xs)
+}
+
+// demoShuffle is deliberately nondeterministic, and says why.
+//
+//tdlint:impure demo-only shuffle, never on a persisted model path
+func demoShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// badAnnotation opts out without a reason: that is itself a finding.
+//
+//tdlint:impure
+func badAnnotation() int { // want "tdlint:impure needs a reason"
+	return rand.Int()
+}
+
+// Encode reaches impurity through a deeper same-package chain —
+// entry → mid → deep → rand.
+func Encode(n int) int { // want "reaches nondeterminism: mid → deep → math/rand.Int63"
+	return mid(n)
+}
+
+func mid(n int) int {
+	return deep(n)
+}
+
+func deep(n int) int {
+	return int(rand.Int63()) % n
+}
+
+// NotAnEntry is impure but matches no entry pattern: no report here.
+func NotAnEntry() int {
+	return rand.Int()
+}

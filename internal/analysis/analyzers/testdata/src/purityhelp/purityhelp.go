@@ -1,0 +1,26 @@
+// Package purityhelp seeds impure and pure helpers in a *different*
+// package, so the purity fixture exercises fact propagation across a
+// package boundary through sealed blobs.
+package purityhelp
+
+import "math/rand"
+
+// Shuffle is impure: it draws from the process-global Source.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Sum is pure.
+func Sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// SeededPick threads an explicit source — the reproducible pattern.
+func SeededPick(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}

@@ -6,7 +6,10 @@
 package analyzers
 
 import (
+	"bytes"
 	"go/ast"
+	"go/printer"
+	"go/token"
 	"go/types"
 
 	"temporaldoc/internal/analysis"
@@ -164,4 +167,13 @@ func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
 		}
 	}
 	return nil
+}
+
+// render prints an expression compactly for diagnostics.
+func render(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return "expression"
+	}
+	return buf.String()
 }

@@ -1,0 +1,109 @@
+package callgraph_test
+
+import (
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"temporaldoc/internal/analysis/callgraph"
+	"temporaldoc/internal/analysis/load"
+)
+
+func buildFixture(t *testing.T) (*callgraph.Graph, map[string]*types.Func) {
+	t.Helper()
+	res, err := load.Packages(filepath.Join("testdata", "src"), "cgfix/graph")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	var pkgs []callgraph.Pkg
+	for _, p := range res.Packages {
+		pkgs = append(pkgs, callgraph.Pkg{Files: p.Files, Info: p.Info})
+	}
+	g := callgraph.Build(pkgs)
+	byName := map[string]*types.Func{}
+	for _, fn := range g.Funcs() {
+		byName[fn.Name()] = fn
+	}
+	return g, byName
+}
+
+// TestReachability drives the table: who can reach whom, over call and
+// reference edges.
+func TestReachability(t *testing.T) {
+	g, fns := buildFixture(t)
+	table := []struct {
+		from, to string
+		want     bool
+	}{
+		{"A", "C", true},      // A → B → C
+		{"A", "E", true},      // A → B → D → (ref) E
+		{"A", "helper", true}, // A → B → D → helper
+		{"C", "A", false},     // no edges out of C
+		{"F", "C", true},      // F → T.M → C
+		{"Cycle1", "Cycle2", true},
+		{"Cycle2", "Cycle1", true},
+		{"Closure", "C", true}, // closure body attributed to Closure
+		{"A", "Isolated", false},
+		{"Isolated", "A", false},
+	}
+	for _, tc := range table {
+		from, ok := fns[tc.from]
+		if !ok {
+			t.Fatalf("fixture function %q not in graph", tc.from)
+		}
+		to, ok := fns[tc.to]
+		if !ok {
+			t.Fatalf("fixture function %q not in graph", tc.to)
+		}
+		_, got := g.Reachable(from, to)
+		if got != tc.want {
+			t.Errorf("Reachable(%s, %s) = %v, want %v", tc.from, tc.to, got, tc.want)
+		}
+	}
+}
+
+// TestChain checks the shortest-path provenance the purity analyzer
+// renders: A reaches C through B, in that order.
+func TestChain(t *testing.T) {
+	g, fns := buildFixture(t)
+	chain, ok := g.Reachable(fns["A"], fns["C"])
+	if !ok {
+		t.Fatal("A should reach C")
+	}
+	var names []string
+	for _, fn := range chain {
+		names = append(names, fn.Name())
+	}
+	if got := strings.Join(names, "→"); got != "B→C" {
+		t.Errorf("chain = %s, want B→C", got)
+	}
+}
+
+// TestRefEdge asserts the function-value reference is marked Ref and
+// the plain call is not.
+func TestRefEdge(t *testing.T) {
+	g, fns := buildFixture(t)
+	node := g.Node(fns["D"])
+	if node == nil {
+		t.Fatal("no node for D")
+	}
+	var sawHelper, sawE bool
+	for _, c := range node.Calls {
+		switch c.Callee.Name() {
+		case "helper":
+			sawHelper = true
+			if c.Ref {
+				t.Error("helper is a direct call, marked Ref")
+			}
+		case "E":
+			sawE = true
+			if !c.Ref {
+				t.Error("E is a value reference, not marked Ref")
+			}
+		}
+	}
+	if !sawHelper || !sawE {
+		t.Errorf("D's edges missing: helper=%v E=%v", sawHelper, sawE)
+	}
+}

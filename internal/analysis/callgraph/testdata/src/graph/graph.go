@@ -1,0 +1,41 @@
+// Fixture for the call-graph reachability table test: direct calls,
+// method calls, a function value passed as an argument (Ref edge), a
+// mutual recursion cycle, and a call made from inside a goroutine
+// closure (attributed to the enclosing function).
+package graph
+
+func A() { B() }
+
+func B() {
+	C()
+	D()
+}
+
+func C() {}
+
+func D() {
+	helper(E) // E escapes as a value: a Ref edge
+}
+
+func E() {}
+
+func helper(f func()) { f() }
+
+type T struct{}
+
+func (t T) M() { C() }
+
+func F() {
+	T{}.M()
+}
+
+func Cycle1() { Cycle2() }
+func Cycle2() { Cycle1() }
+
+func Closure() {
+	go func() {
+		C()
+	}()
+}
+
+func Isolated() {}

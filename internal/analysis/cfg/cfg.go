@@ -1,0 +1,492 @@
+// Package cfg builds per-function control-flow graphs from Go syntax,
+// the flow-sensitive substrate under the lockcheck and nilerr
+// analyzers. Like the rest of internal/analysis it is standard-library
+// only — a deliberately small subset of golang.org/x/tools/go/cfg:
+// basic blocks of statements, condition-labelled branch edges, and a
+// synthetic exit block every return feeds into.
+//
+// The graph is intentionally syntactic. Statements are not decomposed
+// into sub-expressions; a block's Cond is the branch condition whose
+// truth chooses between Succs[0] (true) and Succs[1] (false). Range
+// loops, switches and selects fan out without a Cond — analyzers that
+// need path facts key off Cond-bearing blocks only. Defers are
+// collected on the side (Graph.Defers): they run at every function
+// exit, which is how lockcheck credits `defer mu.Unlock()`.
+//
+// panic and runtime aborts are not modelled as flow edges; a panicking
+// statement sits in its block like any other. That keeps the builder
+// simple and errs towards reporting (a "lock held at return" on a path
+// that in fact panics is still worth a look).
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Name labels the graph in dumps (function name, or "func" for
+	// literals).
+	Name string
+	// Blocks holds every block; Blocks[0] is the entry.
+	Blocks []*Block
+	// Exit is the synthetic exit block (no statements, no successors).
+	// Every return statement and every fall-off-the-end path feeds it.
+	Exit *Block
+	// Defers are the defer statements of the body, in source order.
+	// Their calls run, in reverse order, on every path into Exit.
+	Defers []*ast.DeferStmt
+}
+
+// Block is a maximal straight-line sequence of statements.
+type Block struct {
+	Index int
+	Stmts []ast.Stmt
+	// Cond, when non-nil, is the branch condition evaluated after
+	// Stmts: control reaches Succs[0] when it is true and Succs[1]
+	// when it is false.
+	Cond ast.Expr
+	// Succs are the successor blocks. Multiple successors without a
+	// Cond model range loops, switches and selects.
+	Succs []*Block
+}
+
+// New builds the graph of a function body. name is used only for
+// dumps. A nil body (declaration without body) yields a graph whose
+// entry falls straight into Exit.
+func New(name string, body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{Name: name}}
+	entry := b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	// Fall-off-the-end reaches Exit — unless the walk left us in the
+	// empty unreachable block that follows a terminal return/branch.
+	if b.cur == entry || len(b.cur.Stmts) > 0 || hasPreds(b.g, b.cur) {
+		b.jump(b.g.Exit)
+	}
+	return b.g
+}
+
+func hasPreds(g *Graph, blk *Block) bool {
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s == blk {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FuncName renders the dump label for a declaration.
+func FuncName(decl *ast.FuncDecl) string {
+	if decl.Recv != nil && len(decl.Recv.List) == 1 {
+		var buf bytes.Buffer
+		_ = printer.Fprint(&buf, token.NewFileSet(), decl.Recv.List[0].Type)
+		return "(" + buf.String() + ")." + decl.Name.Name
+	}
+	return decl.Name.Name
+}
+
+// builder threads the current block and break/continue/goto targets
+// through the statement walk.
+type builder struct {
+	g   *Graph
+	cur *Block
+	// breaks/continues are innermost-first target stacks; each frame
+	// carries the label naming it ("" for unlabeled loops/switches).
+	breaks    []targetFrame
+	continues []targetFrame
+	// gotos maps a label name to its block, created on first use by
+	// either the goto or the labeled statement.
+	gotos map[string]*Block
+	// pendingLabel names the label attached to the next loop/switch
+	// statement, so `continue L` resolves.
+	pendingLabel string
+}
+
+type targetFrame struct {
+	label string
+	block *Block
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// jump terminates the current block with an unconditional edge.
+func (b *builder) jump(to *Block) {
+	b.cur.Succs = append(b.cur.Succs, to)
+}
+
+// startUnreachable begins a fresh block with no predecessors, for code
+// after a return/branch statement.
+func (b *builder) startUnreachable() {
+	b.cur = b.newBlock()
+}
+
+func (b *builder) labelBlock(name string) *Block {
+	if b.gotos == nil {
+		b.gotos = map[string]*Block{}
+	}
+	blk, ok := b.gotos[name]
+	if !ok {
+		blk = b.newBlock()
+		b.gotos[name] = blk
+	}
+	return blk
+}
+
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, targetFrame{label, brk})
+	b.continues = append(b.continues, targetFrame{label, cont})
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func findTarget(frames []targetFrame, label string) *Block {
+	for i := len(frames) - 1; i >= 0; i-- {
+		if label == "" || frames[i].label == label {
+			return frames[i].block
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch n := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(n.List)
+
+	case *ast.LabeledStmt:
+		// Land the label's block so `goto L` joins here, then build the
+		// labeled statement with the label pending for break/continue.
+		lb := b.labelBlock(n.Label.Name)
+		b.jump(lb)
+		b.cur = lb
+		b.pendingLabel = n.Label.Name
+		b.stmt(n.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.cur.Stmts = append(b.cur.Stmts, n)
+		b.jump(b.g.Exit)
+		b.startUnreachable()
+
+	case *ast.BranchStmt:
+		b.branch(n)
+
+	case *ast.IfStmt:
+		b.ifStmt(n)
+
+	case *ast.ForStmt:
+		b.forStmt(n)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(n)
+
+	case *ast.SwitchStmt:
+		b.switchStmt(n.Init, n.Body)
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(n.Init, n.Body)
+
+	case *ast.SelectStmt:
+		b.selectStmt(n)
+
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, n)
+		b.cur.Stmts = append(b.cur.Stmts, n)
+
+	default:
+		// Plain statements (assignments, calls, sends, declarations,
+		// go statements, ...) extend the current block.
+		b.cur.Stmts = append(b.cur.Stmts, s)
+	}
+}
+
+func (b *builder) branch(n *ast.BranchStmt) {
+	label := ""
+	if n.Label != nil {
+		label = n.Label.Name
+	}
+	var target *Block
+	switch n.Tok {
+	case token.BREAK:
+		target = findTarget(b.breaks, label)
+	case token.CONTINUE:
+		target = findTarget(b.continues, label)
+	case token.GOTO:
+		if n.Label != nil {
+			target = b.labelBlock(n.Label.Name)
+		}
+	case token.FALLTHROUGH:
+		// Handled by switchStmt via fallthroughTarget; a stray one is
+		// malformed source — drop the edge.
+	default:
+		// A BranchStmt carries no other tokens in well-formed source.
+	}
+	b.cur.Stmts = append(b.cur.Stmts, n)
+	if target != nil {
+		b.jump(target)
+	}
+	b.startUnreachable()
+}
+
+func (b *builder) ifStmt(n *ast.IfStmt) {
+	if n.Init != nil {
+		b.cur.Stmts = append(b.cur.Stmts, n.Init)
+	}
+	head := b.cur
+	head.Cond = n.Cond
+	then := b.newBlock()
+	after := b.newBlock()
+	head.Succs = append(head.Succs, then)
+	elseTarget := after
+	if n.Else != nil {
+		elseTarget = b.newBlock()
+	}
+	head.Succs = append(head.Succs, elseTarget)
+
+	b.cur = then
+	b.stmtList(n.Body.List)
+	b.jump(after)
+
+	if n.Else != nil {
+		b.cur = elseTarget
+		b.stmt(n.Else)
+		b.jump(after)
+	}
+	b.cur = after
+}
+
+func (b *builder) forStmt(n *ast.ForStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if n.Init != nil {
+		b.cur.Stmts = append(b.cur.Stmts, n.Init)
+	}
+	head := b.newBlock()
+	body := b.newBlock()
+	after := b.newBlock()
+	post := head
+	if n.Post != nil {
+		post = b.newBlock()
+	}
+	b.jump(head)
+
+	b.cur = head
+	if n.Cond != nil {
+		head.Cond = n.Cond
+		head.Succs = append(head.Succs, body, after)
+	} else {
+		head.Succs = append(head.Succs, body)
+	}
+
+	b.pushLoop(label, after, post)
+	b.cur = body
+	b.stmtList(n.Body.List)
+	b.jump(post)
+	b.popLoop()
+
+	if n.Post != nil {
+		b.cur = post
+		b.stmt(n.Post)
+		b.jump(head)
+	}
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(n *ast.RangeStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	head := b.newBlock()
+	body := b.newBlock()
+	after := b.newBlock()
+	b.jump(head)
+
+	// The RangeStmt itself sits in the head block so analyzers see the
+	// iteration variables being (re)assigned each trip.
+	head.Stmts = append(head.Stmts, n)
+	head.Succs = append(head.Succs, body, after)
+
+	b.pushLoop(label, after, head)
+	b.cur = body
+	b.stmtList(n.Body.List)
+	b.jump(head)
+	b.popLoop()
+	b.cur = after
+}
+
+// switchStmt covers value and type switches: the head fans out to every
+// case clause (and to after, when there is no default).
+func (b *builder) switchStmt(init ast.Stmt, body *ast.BlockStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if init != nil {
+		b.cur.Stmts = append(b.cur.Stmts, init)
+	}
+	head := b.cur
+	after := b.newBlock()
+
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		head.Succs = append(head.Succs, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		head.Succs = append(head.Succs, after)
+	}
+
+	// A switch is a break target but not a continue target.
+	b.breaks = append(b.breaks, targetFrame{label, after})
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		b.stmtListWithFallthrough(cc.Body, blocks, i)
+		b.jump(after)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = after
+}
+
+// stmtListWithFallthrough builds a case body, wiring a trailing
+// fallthrough to the next case block.
+func (b *builder) stmtListWithFallthrough(list []ast.Stmt, blocks []*Block, i int) {
+	for _, s := range list {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(blocks) {
+			b.cur.Stmts = append(b.cur.Stmts, br)
+			b.jump(blocks[i+1])
+			b.startUnreachable()
+			continue
+		}
+		b.stmt(s)
+	}
+}
+
+func (b *builder) selectStmt(n *ast.SelectStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	head := b.cur
+	after := b.newBlock()
+
+	b.breaks = append(b.breaks, targetFrame{label, after})
+	for _, c := range n.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		head.Succs = append(head.Succs, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.jump(after)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = after
+}
+
+// String renders the graph for golden tests and debugging: one section
+// per block, statements one-per-line, then the condition and successor
+// list. Unreachable empty blocks are elided.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fn %s\n", g.Name)
+	reach := g.reachable()
+	for _, blk := range g.Blocks {
+		if !reach[blk] && len(blk.Stmts) == 0 && blk != g.Blocks[0] {
+			continue
+		}
+		name := fmt.Sprintf("b%d", blk.Index)
+		if blk == g.Exit {
+			name += " (exit)"
+		}
+		fmt.Fprintf(&sb, "%s:\n", name)
+		for _, s := range blk.Stmts {
+			fmt.Fprintf(&sb, "\t%s\n", render(s))
+		}
+		if blk.Cond != nil {
+			fmt.Fprintf(&sb, "\tcond %s\n", render(blk.Cond))
+		}
+		if len(blk.Succs) > 0 {
+			var succs []string
+			for i, s := range blk.Succs {
+				tag := ""
+				if blk.Cond != nil && i == 0 {
+					tag = "(T)"
+				} else if blk.Cond != nil && i == 1 {
+					tag = "(F)"
+				}
+				succs = append(succs, fmt.Sprintf("b%d%s", s.Index, tag))
+			}
+			fmt.Fprintf(&sb, "\t-> %s\n", strings.Join(succs, " "))
+		}
+	}
+	if len(g.Defers) > 0 {
+		sb.WriteString("defers:\n")
+		for _, d := range g.Defers {
+			fmt.Fprintf(&sb, "\t%s\n", render(d))
+		}
+	}
+	return sb.String()
+}
+
+// reachable marks blocks reachable from the entry.
+func (g *Graph) reachable() map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	if len(g.Blocks) > 0 {
+		walk(g.Blocks[0])
+	}
+	return seen
+}
+
+// render prints a node on one line, collapsing interior newlines.
+func render(n ast.Node) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, token.NewFileSet(), n)
+	s := buf.String()
+	s = strings.ReplaceAll(s, "\n", " ")
+	s = strings.ReplaceAll(s, "\t", "")
+	return s
+}

@@ -1,0 +1,138 @@
+package cfg_test
+
+import (
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"temporaldoc/internal/analysis/cfg"
+)
+
+var update = flag.Bool("update", false, "rewrite the CFG golden file")
+
+// TestGolden builds the CFG of every fixture function and compares the
+// concatenated dumps against testdata/funcs.golden. Regenerate after a
+// deliberate shape change with `go test ./internal/analysis/cfg -update`.
+func TestGolden(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filepath.Join("testdata", "funcs.go"), nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, d := range f.Decls {
+		fn, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		g := cfg.New(cfg.FuncName(fn), fn.Body)
+		sb.WriteString(g.String())
+		sb.WriteString("\n")
+	}
+	got := sb.String()
+	golden := filepath.Join("testdata", "funcs.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("CFG dump drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestShapes spot-checks structural properties the golden dump alone
+// would not explain: edge counts, condition placement, defer capture.
+func TestShapes(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filepath.Join("testdata", "funcs.go"), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := map[string]*cfg.Graph{}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok {
+			graphs[fn.Name.Name] = cfg.New(fn.Name.Name, fn.Body)
+		}
+	}
+
+	g := graphs["ifElse"]
+	entry := g.Blocks[0]
+	if entry.Cond == nil || len(entry.Succs) != 2 {
+		t.Errorf("ifElse entry: want cond with 2 successors, got cond=%v succs=%d", entry.Cond, len(entry.Succs))
+	}
+
+	g = graphs["earlyReturn"]
+	// Both the then-return and the final return must reach Exit.
+	preds := 0
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s == g.Exit {
+				preds++
+			}
+		}
+	}
+	if preds != 2 {
+		t.Errorf("earlyReturn: want 2 edges into exit, got %d", preds)
+	}
+
+	g = graphs["loop"]
+	// The loop head must have a back edge pointing at it.
+	var head *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Cond != nil && len(b.Succs) == 2 {
+			head = b
+			break
+		}
+	}
+	if head == nil {
+		t.Fatal("loop: no conditional head block")
+	}
+	back := false
+	for _, b := range g.Blocks {
+		if b == head {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s == head {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Error("loop: no back edge to the head")
+	}
+
+	if g := graphs["deferred"]; len(g.Defers) != 1 {
+		t.Errorf("deferred: want 1 collected defer, got %d", len(g.Defers))
+	}
+
+	// goto joins: the label block must have two predecessors (the fall-in
+	// and the goto).
+	g = graphs["gotos"]
+	counts := map[*cfg.Block]int{}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			counts[s]++
+		}
+	}
+	joined := false
+	for _, n := range counts {
+		if n >= 2 {
+			joined = true
+		}
+	}
+	if !joined {
+		t.Error("gotos: expected a join block with 2 predecessors")
+	}
+}

@@ -1,0 +1,98 @@
+// Fixture bodies for the CFG golden test. Shapes on purpose: straight
+// line, if/else, early return, for with continue/break, range, switch
+// with fallthrough, labeled break, select, defer, goto.
+package fixtures
+
+func straight(a, b int) int {
+	c := a + b
+	c *= 2
+	return c
+}
+
+func ifElse(x int) int {
+	if x > 0 {
+		x++
+	} else {
+		x--
+	}
+	return x
+}
+
+func earlyReturn(err error) error {
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func loop(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i == 2 {
+			continue
+		}
+		if i == 7 {
+			break
+		}
+		s += i
+	}
+	return s
+}
+
+func rangeLoop(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func switchFall(k int) string {
+	switch k {
+	case 0:
+		return "zero"
+	case 1:
+		fallthrough
+	case 2:
+		return "small"
+	default:
+		return "big"
+	}
+}
+
+func labeled(grid [][]int) int {
+outer:
+	for _, row := range grid {
+		for _, v := range row {
+			if v < 0 {
+				break outer
+			}
+		}
+	}
+	return 0
+}
+
+func selects(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case b <- 1:
+	}
+	return 0
+}
+
+func deferred(mu interface{ Lock() }, f func()) {
+	mu.Lock()
+	defer f()
+	f()
+}
+
+func gotos(n int) int {
+	i := 0
+again:
+	i++
+	if i < n {
+		goto again
+	}
+	return i
+}

@@ -52,15 +52,22 @@ func readBaseline(path string) (baseline, error) {
 	return b, nil
 }
 
-// filter removes findings absorbed by the baseline, consuming one
-// baseline entry per match.
-func (b baseline) filter(findings []Finding) []Finding {
+// apply absorbs active findings into the baseline, consuming one
+// baseline entry per match. Absorbed findings are dropped, or kept
+// marked SuppressedBaseline when keepSuppressed is set; findings
+// already suppressed by other means pass through untouched.
+func (b baseline) apply(findings []Finding, keepSuppressed bool) []Finding {
 	var out []Finding
 	for _, f := range findings {
-		key := baselineKey(f)
-		if b[key] > 0 {
-			b[key]--
-			continue
+		if f.Active() {
+			key := baselineKey(f)
+			if b[key] > 0 {
+				b[key]--
+				if !keepSuppressed {
+					continue
+				}
+				f.Suppression = SuppressedBaseline
+			}
 		}
 		out = append(out, f)
 	}

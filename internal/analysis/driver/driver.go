@@ -4,9 +4,17 @@
 // baseline file for grandfathered findings. Both are deliberate,
 // reviewable artifacts — the lint gate itself never silently drops a
 // finding.
+//
+// For interprocedural analyzers (those with a Facts phase) the driver
+// is also the dataflow conductor: it builds the whole-program call
+// graph once, then runs each analyzer's facts phase over the packages
+// in dependency order, sealing every package's facts into a serialized
+// blob before its importers run — the same shape in which the loader
+// shares compiled export data. Only then do the reporting passes run.
 package driver
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/token"
 	"path/filepath"
@@ -14,6 +22,8 @@ import (
 	"strings"
 
 	"temporaldoc/internal/analysis"
+	"temporaldoc/internal/analysis/callgraph"
+	"temporaldoc/internal/analysis/facts"
 	"temporaldoc/internal/analysis/load"
 )
 
@@ -30,7 +40,23 @@ type Options struct {
 	Exclude map[string][]string
 	// Checks restricts the run to the named analyzers; empty runs all.
 	Checks []string
+	// IncludeSuppressed keeps findings silenced by a directive, a path
+	// exclude or the baseline in the result — marked with their
+	// Suppression state — instead of dropping them. Editor/CI
+	// integrations (-json) use this to show muted findings in place.
+	IncludeSuppressed bool
 }
+
+// Suppression states of a finding.
+const (
+	// SuppressedIgnore: silenced by a //lint:ignore or //lint:file-ignore
+	// directive.
+	SuppressedIgnore = "ignore"
+	// SuppressedExclude: silenced by a path-level policy exclude.
+	SuppressedExclude = "exclude"
+	// SuppressedBaseline: absorbed by the grandfathered baseline file.
+	SuppressedBaseline = "baseline"
+)
 
 // Finding is one surviving diagnostic, resolved to a position.
 type Finding struct {
@@ -39,7 +65,14 @@ type Finding struct {
 	// RelPath is the module-relative source path used in output and in
 	// the baseline file.
 	RelPath string
+	// Suppression is "" for an active finding, or one of the
+	// Suppressed* states when Options.IncludeSuppressed kept a silenced
+	// one.
+	Suppression string
 }
+
+// Active reports whether the finding still gates the build.
+func (f Finding) Active() bool { return f.Suppression == "" }
 
 // String renders the finding in the file:line:col: [check] message form
 // the Makefile target prints.
@@ -48,8 +81,31 @@ func (f Finding) String() string {
 		f.RelPath, f.Position.Line, f.Position.Column, f.Check, f.Message)
 }
 
+// JSON renders the finding as one line-oriented JSON object for the
+// -json output mode: analyzer, position, message, suppression state.
+func (f Finding) JSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Analyzer    string `json:"analyzer"`
+		File        string `json:"file"`
+		Line        int    `json:"line"`
+		Col         int    `json:"col"`
+		Message     string `json:"message"`
+		Suppressed  bool   `json:"suppressed"`
+		Suppression string `json:"suppression,omitempty"`
+	}{
+		Analyzer:    f.Check,
+		File:        f.RelPath,
+		Line:        f.Position.Line,
+		Col:         f.Position.Column,
+		Message:     f.Message,
+		Suppressed:  !f.Active(),
+		Suppression: f.Suppression,
+	})
+}
+
 // Run applies the analyzers to every loaded package and returns the
-// findings that survive suppressions, path excludes and the baseline,
+// findings that survive suppressions, path excludes and the baseline
+// (all findings, suppressed ones marked, under IncludeSuppressed),
 // sorted by position. When opts.WriteBaseline is set the surviving
 // findings are written to the baseline file instead and an empty slice
 // is returned.
@@ -60,6 +116,35 @@ func Run(res *load.Result, analyzers []*analysis.Analyzer, opts Options) ([]Find
 	}
 	var diags []analysis.Diagnostic
 	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
+
+	// Interprocedural context: the call graph is shared; each analyzer
+	// with a facts phase gets its own store, filled package by package
+	// in dependency order and sealed before importers read it.
+	graph := buildGraph(res)
+	order := load.DependencyOrder(res.Packages)
+	stores := map[string]*facts.Store{}
+	for _, a := range selected {
+		if a.Facts == nil {
+			continue
+		}
+		st := facts.NewStore()
+		stores[a.Name] = st
+		for _, pkg := range order {
+			if err := st.Begin(pkg.ImportPath); err != nil {
+				return nil, fmt.Errorf("%s: %v", a.Name, err)
+			}
+			pass := analysis.NewPass(a, res.Fset, pkg.Files, pkg.Types, pkg.Info, report)
+			pass.Graph = graph
+			pass.Facts = st
+			if err := a.Facts(pass); err != nil {
+				return nil, fmt.Errorf("%s: facts: %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			if err := st.Seal(); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+
 	sup := newSuppressions()
 	for _, pkg := range res.Packages {
 		for _, f := range pkg.Files {
@@ -67,6 +152,8 @@ func Run(res *load.Result, analyzers []*analysis.Analyzer, opts Options) ([]Find
 		}
 		for _, a := range selected {
 			pass := analysis.NewPass(a, res.Fset, pkg.Files, pkg.Types, pkg.Info, report)
+			pass.Graph = graph
+			pass.Facts = stores[a.Name]
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
 			}
@@ -77,10 +164,17 @@ func Run(res *load.Result, analyzers []*analysis.Analyzer, opts Options) ([]Find
 	for _, d := range diags {
 		pos := d.Position(res.Fset)
 		rel := relPath(res.ModuleDir, pos.Filename)
-		if sup.suppressed(d.Check, pos) || excluded(opts.Exclude[d.Check], rel) {
+		f := Finding{Diagnostic: d, Position: pos, RelPath: rel}
+		switch {
+		case sup.suppressed(d.Check, pos):
+			f.Suppression = SuppressedIgnore
+		case excluded(opts.Exclude[d.Check], rel):
+			f.Suppression = SuppressedExclude
+		}
+		if !f.Active() && !opts.IncludeSuppressed {
 			continue
 		}
-		findings = append(findings, Finding{Diagnostic: d, Position: pos, RelPath: rel})
+		findings = append(findings, f)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -100,13 +194,33 @@ func Run(res *load.Result, analyzers []*analysis.Analyzer, opts Options) ([]Find
 		return findings, nil
 	}
 	if opts.WriteBaseline {
-		return nil, writeBaseline(opts.BaselinePath, findings)
+		return nil, writeBaseline(opts.BaselinePath, active(findings))
 	}
 	base, err := readBaseline(opts.BaselinePath)
 	if err != nil {
 		return nil, err
 	}
-	return base.filter(findings), nil
+	return base.apply(findings, opts.IncludeSuppressed), nil
+}
+
+// active filters to the findings that still gate the build.
+func active(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if f.Active() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// buildGraph adapts the loader's packages for the call-graph builder.
+func buildGraph(res *load.Result) *callgraph.Graph {
+	pkgs := make([]callgraph.Pkg, 0, len(res.Packages))
+	for _, p := range res.Packages {
+		pkgs = append(pkgs, callgraph.Pkg{Files: p.Files, Info: p.Info})
+	}
+	return callgraph.Build(pkgs)
 }
 
 func selectAnalyzers(all []*analysis.Analyzer, names []string) ([]*analysis.Analyzer, error) {

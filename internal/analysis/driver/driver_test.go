@@ -1,6 +1,7 @@
 package driver_test
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -131,6 +132,102 @@ func TestChecksFilter(t *testing.T) {
 	for _, f := range findings {
 		if f.Check == "determinism" {
 			t.Errorf("unselected analyzer ran: %s", f)
+		}
+	}
+}
+
+// TestIncludeSuppressed: with IncludeSuppressed every silenced finding
+// stays in the result carrying its suppression state, active findings
+// stay unmarked, and counts line up with the default (dropping) run.
+func TestIncludeSuppressed(t *testing.T) {
+	res := loadFixture(t)
+	all, err := driver.Run(res, suite(), driver.Options{IncludeSuppressed: true})
+	if err != nil {
+		t.Fatalf("driver.Run: %v", err)
+	}
+	activeOnly, err := driver.Run(res, suite(), driver.Options{})
+	if err != nil {
+		t.Fatalf("driver.Run: %v", err)
+	}
+	var active, ignored int
+	for _, f := range all {
+		switch f.Suppression {
+		case "":
+			active++
+		case driver.SuppressedIgnore:
+			ignored++
+		default:
+			t.Errorf("unexpected suppression state %q: %s", f.Suppression, f)
+		}
+	}
+	if active != len(activeOnly) {
+		t.Errorf("active findings = %d, want %d (same as the dropping run)", active, len(activeOnly))
+	}
+	// The fixture seeds suppressed findings (same-line, line-above,
+	// file-wide); all of them must now be visible.
+	if ignored < 3 {
+		t.Errorf("ignored findings = %d, want >= 3\n%s", ignored, render(all))
+	}
+
+	// Baseline absorption is a suppression state too.
+	base := filepath.Join(t.TempDir(), "tdlint.baseline")
+	if _, err := driver.Run(res, suite(), driver.Options{BaselinePath: base, WriteBaseline: true}); err != nil {
+		t.Fatalf("writing baseline: %v", err)
+	}
+	baselined, err := driver.Run(res, suite(), driver.Options{BaselinePath: base, IncludeSuppressed: true})
+	if err != nil {
+		t.Fatalf("running against baseline: %v", err)
+	}
+	counts := map[string]int{}
+	for _, f := range baselined {
+		counts[f.Suppression]++
+	}
+	if counts[""] != 0 {
+		t.Errorf("active findings survived their own baseline:\n%s", render(baselined))
+	}
+	if counts[driver.SuppressedBaseline] != len(activeOnly) {
+		t.Errorf("baseline-suppressed = %d, want %d", counts[driver.SuppressedBaseline], len(activeOnly))
+	}
+}
+
+// TestFindingJSON: the -json mode contract — one object per finding
+// with analyzer, position, message and suppression state.
+func TestFindingJSON(t *testing.T) {
+	res := loadFixture(t)
+	findings, err := driver.Run(res, suite(), driver.Options{IncludeSuppressed: true})
+	if err != nil {
+		t.Fatalf("driver.Run: %v", err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+	for _, f := range findings {
+		line, err := f.JSON()
+		if err != nil {
+			t.Fatalf("JSON(%s): %v", f, err)
+		}
+		var got struct {
+			Analyzer    string `json:"analyzer"`
+			File        string `json:"file"`
+			Line        int    `json:"line"`
+			Col         int    `json:"col"`
+			Message     string `json:"message"`
+			Suppressed  bool   `json:"suppressed"`
+			Suppression string `json:"suppression"`
+		}
+		if err := json.Unmarshal(line, &got); err != nil {
+			t.Fatalf("unmarshalling %s: %v", line, err)
+		}
+		if got.Analyzer != f.Check || got.File != f.RelPath || got.Line != f.Position.Line ||
+			got.Col != f.Position.Column || got.Message != f.Message {
+			t.Errorf("JSON fields drifted from finding: %s vs %s", line, f)
+		}
+		if got.Suppressed != !f.Active() || got.Suppression != f.Suppression {
+			t.Errorf("JSON suppression state drifted: %s (want suppressed=%v state=%q)",
+				line, !f.Active(), f.Suppression)
+		}
+		if strings.Contains(string(line), "\n") {
+			t.Errorf("JSON must be one line: %q", line)
 		}
 	}
 }

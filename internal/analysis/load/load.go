@@ -190,3 +190,41 @@ func Packages(dir string, patterns ...string) (*Result, error) {
 	})
 	return res, nil
 }
+
+// DependencyOrder topologically sorts pkgs so every package follows all
+// of its in-set dependencies — the order fact computation must run in.
+// Ties (and everything else) stay deterministic: the walk visits
+// packages and imports in sorted order.
+func DependencyOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	seen := make(map[string]bool, len(pkgs))
+	out := make([]*Package, 0, len(pkgs))
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if seen[p.ImportPath] {
+			return
+		}
+		seen[p.ImportPath] = true
+		imports := p.Types.Imports()
+		paths := make([]string, 0, len(imports))
+		for _, imp := range imports {
+			paths = append(paths, imp.Path())
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			if dep, ok := byPath[path]; ok {
+				visit(dep)
+			}
+		}
+		out = append(out, p)
+	}
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ImportPath < sorted[j].ImportPath })
+	for _, p := range sorted {
+		visit(p)
+	}
+	return out
+}

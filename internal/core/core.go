@@ -486,6 +486,10 @@ func (m *Model) trainCategory(cat string, train []corpus.Document) (*CategoryMod
 	}, nil
 }
 
+// runExample scores one encoded document with the machine's register
+// file, once per (program, document) pair in the evolution loop.
+//
+//tdlint:hotpath
 func (m *Model) runExample(machine *lgp.Machine, p *lgp.Program, inputs [][]float64) float64 {
 	if m.cfg.GP.Recurrent {
 		return machine.RunSequence(p, inputs)

@@ -154,6 +154,8 @@ type Gaussian struct {
 }
 
 // Eval returns the raw Gaussian value at x.
+//
+//tdlint:hotpath
 func (g *Gaussian) Eval(x []float64) float64 {
 	var d2 float64
 	for i := range g.Mean {

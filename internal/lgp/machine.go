@@ -98,6 +98,8 @@ func (m *Machine) compile(p *Program, nIn int) {
 // denominator leaves the destination unchanged. Register values are
 // clamped to ±1e6 and NaN is flushed to zero, keeping evolution numerics
 // finite.
+//
+//tdlint:hotpath
 func (m *Machine) stepCompiled(inputs []float64) {
 	regs := m.regs
 	for _, in := range m.prog {

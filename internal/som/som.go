@@ -196,6 +196,8 @@ func (m *Map) dist2(x []float64, u int) float64 {
 // loop-carried add dependency so the sweep runs at multiplier throughput
 // instead of add latency. The accumulation order is fixed, keeping BMU
 // results deterministic.
+//
+//tdlint:hotpath
 func dotProduct(x, w []float64) float64 {
 	n := len(x)
 	w = w[:n]
@@ -217,6 +219,8 @@ func dotProduct(x, w []float64) float64 {
 // exactly as squared Euclidean distance does (the |x|² term is constant
 // across units) but needs one dot product instead of a subtract-square
 // per dimension, against the cached norm.
+//
+//tdlint:hotpath
 func (m *Map) score(x []float64, u int) float64 {
 	return m.norm2[u] - 2*dotProduct(x, m.Weights(u))
 }
@@ -224,6 +228,8 @@ func (m *Map) score(x []float64, u int) float64 {
 // BMU returns the best-matching unit for input x: the unit whose weight
 // vector has the smallest Euclidean distance to x. Ties break towards the
 // lower unit index, keeping results deterministic.
+//
+//tdlint:hotpath
 func (m *Map) BMU(x []float64) int {
 	dim := len(x)
 	best, bestS := 0, math.Inf(1)

@@ -114,6 +114,8 @@ type Counter struct {
 }
 
 // Add increments the counter by n. No-op on a nil counter.
+//
+//tdlint:hotpath
 func (c *Counter) Add(n int64) {
 	if c == nil {
 		return
@@ -138,6 +140,8 @@ type Gauge struct {
 }
 
 // Set stores v. No-op on a nil gauge.
+//
+//tdlint:hotpath
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
@@ -180,6 +184,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one observation. No-op on a nil histogram.
+//
+//tdlint:hotpath
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
