@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-baseline test race bench telemetry-smoke fuzz-smoke fmt-check ci
+.PHONY: all build vet lint lint-baseline test race race-serve bench telemetry-smoke fuzz-smoke serve-smoke fmt-check ci
 
 all: build
 
@@ -42,6 +42,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Dedicated race gate for the serving layer: the reload-under-load test
+# (TestReloadUnderLoad) hammers /v1/classify from many goroutines while
+# snapshots hot-swap, and core's ClassifyDoc must stay safe under the
+# same concurrency. Kept separate from `race` so the serve wall stays a
+# named, required CI step even if the global race target is trimmed.
+race-serve:
+	$(GO) test -race -count=1 ./internal/serve/ ./internal/core/
+
 # Short benchmark smoke over the evaluation-engine hot paths. Catches
 # benchmarks that stop compiling or panic; not a performance gate.
 bench:
@@ -66,6 +74,13 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseProgram$$' -fuzztime 10s ./internal/lgp/
 	$(GO) test -run '^$$' -fuzz '^FuzzMachineStep$$' -fuzztime 10s ./internal/lgp/
 	$(GO) test -run '^$$' -fuzz '^FuzzProcess$$' -fuzztime 10s ./internal/textproc/
+	$(GO) test -run '^$$' -fuzz '^FuzzClassifyRequest$$' -fuzztime 10s ./internal/serve/
+
+# End-to-end smoke of `tdc serve`: train a tiny model, boot the server
+# on an ephemeral port, drive classify/healthz/modelz/reload over curl
+# and assert the JSON fields scripts depend on.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Fails when any tracked Go file is not gofmt-formatted.
 fmt-check:
@@ -74,4 +89,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet lint build test race bench telemetry-smoke fuzz-smoke
+ci: fmt-check vet lint build test race race-serve bench telemetry-smoke fuzz-smoke serve-smoke

@@ -10,8 +10,11 @@
 //	tdc compare  -method mi -profile quick
 //	tdc trace    -category earn -profile smoke
 //	tdc rule     -category earn -profile smoke
+//	tdc serve    -model model.json -addr localhost:8080
 //
-// All subcommands are deterministic for a fixed -seed.
+// All subcommands are deterministic for a fixed -seed; serve is the
+// long-lived exception (it answers whatever traffic arrives, but
+// classification itself stays deterministic per model snapshot).
 package main
 
 import (
@@ -47,6 +50,8 @@ func main() {
 		err = cmdTrain(os.Args[2:])
 	case "classify":
 		err = cmdClassify(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
 	case "sizing":
@@ -77,6 +82,7 @@ Subcommands:
   rule       print a category's evolved RLGP rule
   train      train a model and persist it as JSON
   classify   classify SGML documents with a persisted model
+  serve      serve a persisted model over an HTTP JSON API
   stats      print corpus statistics
   sizing     search SOM geometries by quantisation error (AWC study)
   inspect    summarise a persisted model (rules, thresholds, BMUs)

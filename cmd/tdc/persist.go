@@ -85,6 +85,7 @@ func cmdTrain(args []string) error {
 func cmdClassify(args []string) error {
 	fs := flag.NewFlagSet("classify", flag.ExitOnError)
 	modelPath := fs.String("model", "model.json", "persisted model file")
+	method := fs.String("method", "", "require the snapshot's feature-selection method (df, ig, mi, nouns, chi; empty accepts any)")
 	sgml := fs.String("sgml", "", "SGML file with documents to classify (default: synthetic test split)")
 	profile := fs.String("profile", "smoke", "profile for the default synthetic corpus")
 	seed := fs.Int64("seed", 0, "override profile seed")
@@ -99,15 +100,25 @@ func cmdClassify(args []string) error {
 		return err
 	}
 	defer ts.close()
-	mf, err := os.Open(*modelPath)
+	model, info, err := core.LoadFile(*modelPath)
 	if err != nil {
 		return err
 	}
-	defer mf.Close()
-	model, err := core.Load(mf)
-	if err != nil {
-		return err
+	// A model scored under the wrong feature-selection method silently
+	// produces garbage (the keep-sets and encoder belong to the
+	// recorded method), so an explicit request must match the snapshot
+	// header exactly.
+	if *method != "" {
+		want, err := methodByName(*method)
+		if err != nil {
+			return err
+		}
+		if got := model.FeatureMethod(); got != want {
+			return fmt.Errorf("model %s was trained with feature method %q, not the requested %q",
+				*modelPath, got, want)
+		}
 	}
+	ts.log.Info("model loaded", "path", info.Path, "sha256", info.SHA256, "method", string(model.FeatureMethod()))
 	// Loaded models start silent; retrofit the session's registry so
 	// classification latency and cache hit rates land in -metrics.
 	model.AttachTelemetry(ts.reg, nil)

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// trainTestModel trains one tiny persisted model per test binary and
+// returns its path; later callers reuse it.
+var trainedModelPath string
+
+func trainTestModel(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI training skipped in -short")
+	}
+	if trainedModelPath != "" {
+		return trainedModelPath
+	}
+	dir, err := os.MkdirTemp("", "tdc-persist-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not t.TempDir: the model outlives the first test that trains it.
+	path := filepath.Join(dir, "model.json")
+	if err := cmdTrain([]string{"-profile", "smoke", "-scale", "0.006",
+		"-method", "df", "-out", path}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	trainedModelPath = path
+	return path
+}
+
+// TestClassifyMethodValidation is the regression test for the
+// load-path fix: `tdc classify -method X` must verify the snapshot
+// header's feature-selection method instead of silently scoring with
+// whatever the snapshot was trained under.
+func TestClassifyMethodValidation(t *testing.T) {
+	model := trainTestModel(t)
+
+	t.Run("matching method accepted", func(t *testing.T) {
+		if _, err := captureStdout(t, func() error {
+			return cmdClassify([]string{"-model", model, "-method", "df",
+				"-profile", "smoke", "-scale", "0.006", "-limit", "1"})
+		}); err != nil {
+			t.Fatalf("classify with matching -method: %v", err)
+		}
+	})
+
+	t.Run("mismatching method rejected", func(t *testing.T) {
+		_, err := captureStdout(t, func() error {
+			return cmdClassify([]string{"-model", model, "-method", "mi",
+				"-profile", "smoke", "-scale", "0.006", "-limit", "1"})
+		})
+		if err == nil {
+			t.Fatal("classify accepted a -method the snapshot was not trained with")
+		}
+		for _, want := range []string{"df", "mi", "feature method"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error %q does not mention %q", err, want)
+			}
+		}
+	})
+
+	t.Run("unknown method rejected", func(t *testing.T) {
+		_, err := captureStdout(t, func() error {
+			return cmdClassify([]string{"-model", model, "-method", "tfidf",
+				"-profile", "smoke", "-scale", "0.006", "-limit", "1"})
+		})
+		if err == nil {
+			t.Fatal("classify accepted an unknown -method")
+		}
+	})
+}
+
+// TestClassifyRejectsCorruptMethodHeader covers the persist-path half:
+// a snapshot whose header records a method this build does not know
+// must fail to load with a clear error, not classify with a broken
+// configuration.
+func TestClassifyRejectsCorruptMethodHeader(t *testing.T) {
+	model := trainTestModel(t)
+	raw, err := os.ReadFile(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap["feature_method"]; got != "df" {
+		t.Fatalf("snapshot header records method %v, want df", got)
+	}
+	snap["feature_method"] = "bogus"
+	corrupt, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corrupt.json")
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = captureStdout(t, func() error {
+		return cmdClassify([]string{"-model", path, "-profile", "smoke",
+			"-scale", "0.006", "-limit", "1"})
+	})
+	if err == nil {
+		t.Fatal("snapshot with unknown feature_method loaded")
+	}
+	if !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("error %q does not name the offending method", err)
+	}
+}

@@ -594,6 +594,10 @@ func (m *Model) CategoryModelFor(cat string) *CategoryModel { return m.perCat[ca
 // Selection exposes the feature selection the model was trained with.
 func (m *Model) Selection() *featsel.Selection { return m.selection }
 
+// FeatureMethod returns the feature-selection method the model was
+// trained with (and a persisted snapshot records in its header).
+func (m *Model) FeatureMethod() featsel.Method { return m.cfg.FeatureMethod }
+
 // Encoder exposes the trained hierarchical SOM encoder.
 func (m *Model) Encoder() *hsom.Encoder { return m.encoder }
 
@@ -655,6 +659,41 @@ func (m *Model) Classify(doc *corpus.Document) ([]string, error) {
 			out = append(out, cat)
 		}
 	}
+	return out, nil
+}
+
+// Prediction is one category's decision for a document, as produced by
+// ClassifyDoc: the raw squashed output-register value and whether it
+// clears the category's threshold.
+type Prediction struct {
+	Category string
+	Score    float64
+	InClass  bool
+}
+
+// ClassifyDoc scores the document against every trained category in the
+// corpus inventory order, appending one Prediction per category to out
+// and returning the extended slice. It is the serving layer's entry
+// point: safe for concurrent use (scoring is read-only on the model,
+// the encode cache is lock-guarded and machines come from the pool) and
+// allocation-free on the hot path when cap(out)-len(out) is at least
+// the category count — callers reuse the slice across requests.
+//
+//tdlint:hotpath
+func (m *Model) ClassifyDoc(doc *corpus.Document, out []Prediction) ([]Prediction, error) {
+	sp := m.met.classifyLat.Start()
+	for _, cat := range m.cats {
+		score, err := m.Score(cat, doc)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, Prediction{
+			Category: cat,
+			Score:    score,
+			InClass:  score > m.perCat[cat].Threshold,
+		})
+	}
+	sp.End()
 	return out, nil
 }
 

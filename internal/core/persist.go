@@ -1,9 +1,13 @@
 package core
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 
 	"temporaldoc/internal/featsel"
@@ -98,6 +102,10 @@ func Load(r io.Reader) (*Model, error) {
 	if snap.Version != snapshotVersion {
 		return nil, fmt.Errorf("core: unsupported model version %d (want %d)", snap.Version, snapshotVersion)
 	}
+	if !featsel.Known(snap.FeatureMethod) {
+		return nil, fmt.Errorf("core: snapshot records unknown feature-selection method %q (want one of %v)",
+			snap.FeatureMethod, featsel.AllMethods())
+	}
 	if len(snap.Categories) == 0 || len(snap.Models) != len(snap.Categories) {
 		return nil, fmt.Errorf("core: snapshot has %d categories and %d models", len(snap.Categories), len(snap.Models))
 	}
@@ -159,4 +167,34 @@ func Load(r io.Reader) (*Model, error) {
 		}
 	}
 	return m, nil
+}
+
+// SnapshotInfo identifies a persisted snapshot file a model was loaded
+// from. SHA256 is the hex digest of the exact on-disk bytes, so two
+// models compare equal iff their snapshots are byte-identical — the
+// serving layer embeds it in every response to prove which model
+// scored a request across hot-reloads.
+type SnapshotInfo struct {
+	Path   string `json:"path"`
+	SHA256 string `json:"sha256"`
+	Bytes  int64  `json:"bytes"`
+}
+
+// LoadFile reconstructs a model from a snapshot file and reports the
+// snapshot's identity (content hash and size) alongside it.
+func LoadFile(path string) (*Model, SnapshotInfo, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, SnapshotInfo{}, fmt.Errorf("core: read snapshot: %w", err)
+	}
+	m, err := Load(bytes.NewReader(b))
+	if err != nil {
+		return nil, SnapshotInfo{}, err
+	}
+	sum := sha256.Sum256(b)
+	return m, SnapshotInfo{
+		Path:   path,
+		SHA256: hex.EncodeToString(sum[:]),
+		Bytes:  int64(len(b)),
+	}, nil
 }

@@ -40,6 +40,17 @@ const (
 // Methods lists the paper's techniques in the paper's order.
 func Methods() []Method { return []Method{DF, IG, Nouns, MI} }
 
+// Known reports whether m names a supported feature-selection method.
+// Persisted-model loaders use it to reject snapshots whose recorded
+// method this build cannot reproduce.
+func Known(m Method) bool {
+	switch m {
+	case DF, IG, MI, Nouns, CHI:
+		return true
+	}
+	return false
+}
+
 // AllMethods lists every supported technique, extensions included.
 func AllMethods() []Method { return []Method{DF, IG, Nouns, MI, CHI} }
 

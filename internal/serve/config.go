@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"runtime"
+	"time"
+
+	"temporaldoc/internal/featsel"
+	"temporaldoc/internal/telemetry"
+)
+
+// Config parameterises one classification server. The zero value of
+// every limit takes a serving-safe default; ModelPath is the only
+// required field.
+type Config struct {
+	// ModelPath is the persisted snapshot (core.Model.Save output) the
+	// server loads at start and re-reads on every reload.
+	ModelPath string
+	// Method, when non-empty, requires the snapshot header to record
+	// exactly this feature-selection method; loads (initial and reload)
+	// of a mismatching snapshot fail. Empty accepts whatever the
+	// snapshot records.
+	Method featsel.Method
+	// Workers bounds concurrent classification jobs. Default
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of accepted-but-unstarted jobs.
+	// When the queue is full new requests are rejected with 503 and a
+	// Retry-After header instead of piling up goroutines. Default 64.
+	QueueDepth int
+	// MaxBatch bounds the documents of one batch request. Default 64.
+	MaxBatch int
+	// MaxBodyBytes bounds a request body; larger bodies get 413.
+	// Default 1 MiB.
+	MaxBodyBytes int64
+	// RequestTimeout bounds one request's total time in the server
+	// (queue wait + scoring); exceeding it returns 504. Default 10s.
+	RequestTimeout time.Duration
+	// RetryAfter is the back-off hint advertised on 503 responses.
+	// Default 1s.
+	RetryAfter time.Duration
+	// Metrics, when non-nil, receives the serving metrics (request
+	// counts, latency, queue depth, reloads) and is re-attached to
+	// every loaded model so scoring telemetry keeps flowing across
+	// reloads. A nil registry costs nothing.
+	Metrics *telemetry.Registry
+	// Log receives structured serving events. Nil discards them.
+	Log *slog.Logger
+}
+
+func (c *Config) setDefaults() error {
+	if c.ModelPath == "" {
+		return fmt.Errorf("serve: Config.ModelPath is required")
+	}
+	if c.Method != "" && !featsel.Known(c.Method) {
+		return fmt.Errorf("serve: unknown feature-selection method %q", c.Method)
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Log == nil {
+		c.Log = slog.New(discardHandler{})
+	}
+	return nil
+}
+
+// discardHandler is a no-op slog.Handler (slog.DiscardHandler arrives
+// in go1.24; this repo supports 1.22).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"temporaldoc/internal/textproc"
+)
+
+// FuzzClassifyRequest throws arbitrary bytes at the request decoder —
+// the one piece of the server that parses attacker-controlled input.
+// The decoder must never panic; when it accepts a body, the resulting
+// document list must honour the batch invariants the handler relies
+// on, and the training preprocessor must survive tokenising whatever
+// text was accepted (UTF-8 edge cases included).
+func FuzzClassifyRequest(f *testing.F) {
+	seeds := []string{
+		`{"text":"oil prices rose"}`,
+		`{"id":"d1","text":"grain shipment","scores":true}`,
+		`{"documents":[{"text":"one"},{"id":"b","text":"two"}]}`,
+		`{"documents":[]}`,
+		`{"text":"a","documents":[{"text":"b"}]}`,
+		`{"text":""}`,
+		`{}`,
+		``,
+		`[]`,
+		`null`,
+		`{"text":"a"} trailing`,
+		`{"text":"a"}{"text":"b"}`,
+		`{"unknown":1}`,
+		`{"text":42}`,
+		`{"documents":[{"text":"x"},{"text":"y"},{"text":"z"},{"text":"w"}]}`,
+		`{"text":"café ☃ snowman"}`,
+		"{\"text\":\"\xff\xfe invalid utf8\"}",
+		`{"text":"` + strings.Repeat("a", 2048) + `"}`,
+		"{\"documents\":[{\"id\":\"\x00\",\"text\":\"nul id\"}]}",
+		`{"text":"MixedCase STOP the And Of 123 x"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	pre := textproc.NewPreprocessor(textproc.Options{})
+	const maxBatch = 3
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, docs, err := decodeClassifyRequest(strings.NewReader(string(data)), maxBatch)
+		if err != nil {
+			if req != nil || docs != nil {
+				t.Fatalf("decoder returned data alongside error %v", err)
+			}
+			return
+		}
+		if req == nil {
+			t.Fatal("decoder accepted a body but returned a nil request")
+		}
+		if len(docs) == 0 {
+			t.Fatal("decoder accepted a body but produced no documents")
+		}
+		if len(docs) > maxBatch {
+			t.Fatalf("decoder accepted %d documents, limit is %d", len(docs), maxBatch)
+		}
+		if req.Text != "" {
+			if len(docs) != 1 || docs[0].Text != req.Text || docs[0].ID != req.ID {
+				t.Fatalf("single-form request normalised to %+v", docs)
+			}
+		}
+		// Accepted text must survive the training-time tokenizer, and the
+		// tokenizer must emit valid UTF-8 even for mangled input.
+		for _, d := range docs {
+			for _, w := range pre.Process(d.Text) {
+				if !utf8.ValidString(w) {
+					t.Fatalf("preprocessor emitted invalid UTF-8 token %q from %q", w, d.Text)
+				}
+			}
+		}
+	})
+}

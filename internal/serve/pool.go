@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"context"
+	"errors"
+
+	"sync"
+
+	"temporaldoc/internal/core"
+	"temporaldoc/internal/corpus"
+	"temporaldoc/internal/telemetry"
+)
+
+// ErrQueueFull is returned by submit when the bounded queue cannot
+// accept another job; the HTTP layer maps it to 503 + Retry-After.
+var ErrQueueFull = errors.New("serve: classification queue full")
+
+// job is one enqueued classification unit. The worker fills snap,
+// results and err, then closes done; the handler reads them only after
+// done is closed (or abandons the job entirely on timeout), so the two
+// goroutines never touch the same field concurrently.
+type job struct {
+	ctx  context.Context
+	docs []corpus.Document
+
+	snap    *ModelSnapshot
+	results [][]core.Prediction
+	err     error
+	done    chan struct{}
+}
+
+// pool is the bounded worker pool classification runs on. A fixed
+// worker count keeps scoring concurrency at the configured level no
+// matter how many HTTP connections arrive; the buffered queue absorbs
+// bursts and rejects (rather than buffers) overload beyond it.
+type pool struct {
+	handle *Handle
+	queue  chan *job
+	wg     sync.WaitGroup
+
+	depth    *telemetry.Gauge
+	rejected *telemetry.Counter
+	jobs     *telemetry.Counter
+	docs     *telemetry.Counter
+}
+
+func newPool(workers, depth int, handle *Handle, reg *telemetry.Registry) *pool {
+	p := &pool{
+		handle:   handle,
+		queue:    make(chan *job, depth),
+		depth:    reg.Gauge("serve.queue.depth"),
+		rejected: reg.Counter("serve.queue.rejected"),
+		jobs:     reg.Counter("serve.jobs"),
+		docs:     reg.Counter("serve.docs"),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// submit enqueues a job without blocking; ErrQueueFull means the
+// caller should shed the request.
+func (p *pool) submit(j *job) error {
+	select {
+	case p.queue <- j:
+		p.depth.Set(float64(len(p.queue)))
+		return nil
+	default:
+		p.rejected.Inc()
+		return ErrQueueFull
+	}
+}
+
+// close stops accepting jobs and waits for queued ones to finish.
+func (p *pool) close() {
+	close(p.queue)
+	p.wg.Wait()
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		p.depth.Set(float64(len(p.queue)))
+		p.run(j)
+		close(j.done)
+	}
+}
+
+// run scores every document of the job with one pinned model snapshot.
+// The snapshot is read exactly once per job: a concurrent reload swaps
+// the handle for later jobs but can never mix models inside this one.
+func (p *pool) run(j *job) {
+	if err := j.ctx.Err(); err != nil {
+		j.err = err // expired while queued; skip the scoring work
+		return
+	}
+	snap := p.handle.Current()
+	j.snap = snap
+	ncats := len(snap.Model.Categories())
+	j.results = make([][]core.Prediction, 0, len(j.docs))
+	buf := make([]core.Prediction, 0, ncats*len(j.docs))
+	for i := range j.docs {
+		if err := j.ctx.Err(); err != nil {
+			j.err = err
+			return
+		}
+		preds, err := snap.Model.ClassifyDoc(&j.docs[i], buf[len(buf):len(buf):len(buf)+ncats])
+		if err != nil {
+			j.err = err
+			return
+		}
+		buf = buf[:len(buf)+len(preds)]
+		j.results = append(j.results, preds)
+	}
+	p.jobs.Inc()
+	p.docs.Add(int64(len(j.docs)))
+}

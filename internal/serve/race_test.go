@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"temporaldoc/internal/core"
+	"temporaldoc/internal/corpus"
+)
+
+// TestReloadUnderLoad is the concurrency wall: N goroutines fire M
+// classify requests each while a reloader goroutine keeps swapping the
+// snapshot file between two models and hot-reloading. Every response
+// must be internally consistent — its predictions byte-equal to what
+// the model named by its model_hash produces offline. A single mixed
+// response (hash from one model, scores from the other) fails the
+// test; `go test -race ./internal/serve` additionally turns any
+// unsynchronised handle access into a hard failure.
+func TestReloadUnderLoad(t *testing.T) {
+	f := getFixture(t)
+	dir := t.TempDir()
+	live := filepath.Join(dir, "live.json")
+	copyFile(t, f.pathA, live)
+	s := newTestServer(t, live, func(c *Config) {
+		c.Workers = 4
+		c.QueueDepth = 64
+	})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	// Precompute, per snapshot hash, the exact rendering every response
+	// must match: category list plus raw scores for a fixed probe
+	// document.
+	probe := &f.corpus.Test[1]
+	body := fmt.Sprintf(`{"text":%q,"scores":true}`, docText(probe))
+	expected := map[string]string{
+		f.hashA: renderPredictions(t, f.modelA, probe),
+		f.hashB: renderPredictions(t, f.modelB, probe),
+	}
+	if expected[f.hashA] == expected[f.hashB] {
+		t.Log("warning: both fixture models agree on the probe; only the hash check distinguishes them")
+	}
+
+	const (
+		goroutines = 8
+		requests   = 25
+	)
+	stop := make(chan struct{})
+	var reloads atomic.Int64
+	var reloaderWg sync.WaitGroup
+	reloaderWg.Add(1)
+	go func() { // reloader: alternate snapshots as fast as possible
+		defer reloaderWg.Done()
+		paths := []string{f.pathB, f.pathA}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			copyFile(t, paths[i%2], live)
+			resp, err := http.Post(hs.URL+"/v1/reload", "application/json", nil)
+			if err != nil {
+				t.Errorf("reload: %v", err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				reloads.Add(1)
+			}
+		}
+	}()
+
+	errs := make(chan error, goroutines*requests)
+	var reqWg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		reqWg.Add(1)
+		go func() {
+			defer reqWg.Done()
+			for r := 0; r < requests; r++ {
+				resp, err := http.Post(hs.URL+"/v1/classify", "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var cr ClassifyResponse
+				err = json.NewDecoder(resp.Body).Decode(&cr)
+				resp.Body.Close()
+				if err != nil {
+					errs <- fmt.Errorf("decode: %w", err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("status %d", resp.StatusCode)
+					return
+				}
+				want, ok := expected[cr.ModelHash]
+				if !ok {
+					errs <- fmt.Errorf("response carries unknown model hash %q", cr.ModelHash)
+					return
+				}
+				if got := renderResponse(&cr); got != want {
+					errs <- fmt.Errorf("mixed response under hash %s:\n got %s\nwant %s", cr.ModelHash, got, want)
+					return
+				}
+			}
+		}()
+	}
+	reqWg.Wait()
+	close(stop)
+	reloaderWg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if reloads.Load() == 0 {
+		t.Error("reloader never completed a successful reload during the storm")
+	}
+}
+
+// renderPredictions renders a model's offline predictions for doc in
+// the same canonical form renderResponse produces for a server reply.
+func renderPredictions(t *testing.T, m *core.Model, doc *corpus.Document) string {
+	t.Helper()
+	preds, err := m.ClassifyDoc(doc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	cats := []string{}
+	for _, p := range preds {
+		if p.InClass {
+			cats = append(cats, p.Category)
+		}
+	}
+	fmt.Fprintf(&sb, "%v", cats)
+	for _, p := range preds {
+		fmt.Fprintf(&sb, " %s=%v", p.Category, p.Score)
+	}
+	return sb.String()
+}
+
+func renderResponse(cr *ClassifyResponse) string {
+	var sb strings.Builder
+	res := cr.Results[0]
+	fmt.Fprintf(&sb, "%v", res.Categories)
+	for _, p := range res.Predictions {
+		fmt.Fprintf(&sb, " %s=%v", p.Category, p.Score)
+	}
+	return sb.String()
+}

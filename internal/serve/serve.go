@@ -1,0 +1,92 @@
+// Package serve is the long-lived serving layer of the temporal
+// document classifier: a dependency-free net/http JSON API over a
+// trained, persisted core.Model.
+//
+// Three design rules shape it:
+//
+//   - One atomically swappable model handle. Every request pins the
+//     current ModelSnapshot exactly once and scores its whole batch
+//     with it, so hot-reloads (SIGHUP or POST /v1/reload) can land at
+//     any moment without a response ever mixing two models. Responses
+//     embed the snapshot's SHA-256 to make that provable end to end.
+//   - Bounded concurrency with load shedding. Scoring runs on a fixed
+//     worker pool behind a bounded queue; when the queue is full the
+//     server answers 503 with Retry-After instead of stacking
+//     goroutines, and per-request deadlines turn stuck work into 504s.
+//   - The scoring hot path allocates nothing per document beyond the
+//     response itself: machines come from the model's pool, encodings
+//     from its cache, predictions land in one per-job buffer.
+//
+// Endpoints:
+//
+//	POST /v1/classify  single {"text": ...} or batch {"documents": [...]}
+//	GET  /v1/healthz   liveness plus the serving model hash
+//	GET  /v1/modelz    model identity and a telemetry snapshot
+//	POST /v1/reload    re-read the snapshot file and swap it in
+package serve
+
+import (
+	"net/http"
+
+	"temporaldoc/internal/telemetry"
+	"temporaldoc/internal/textproc"
+)
+
+// Server is one classification service instance. Create with New,
+// mount via Handler, stop with Close.
+type Server struct {
+	cfg    Config
+	handle *Handle
+	pool   *pool
+	pre    *textproc.Preprocessor
+	mux    *http.ServeMux
+	met    serverMetrics
+}
+
+// serverMetrics holds the pre-resolved handles of the request path.
+type serverMetrics struct {
+	timeouts *telemetry.Counter
+}
+
+// New loads the model snapshot and assembles a ready-to-serve Server.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	handle, err := OpenHandle(cfg.ModelPath, cfg.Method, cfg.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:    cfg,
+		handle: handle,
+		pool:   newPool(cfg.Workers, cfg.QueueDepth, handle, cfg.Metrics),
+		pre:    textproc.NewPreprocessor(textproc.Options{}),
+		met:    serverMetrics{timeouts: cfg.Metrics.Counter("serve.timeouts")},
+	}
+	s.mux = http.NewServeMux()
+	s.mux.Handle("/v1/classify", cfg.Metrics.InstrumentHandler("classify", http.HandlerFunc(s.handleClassify)))
+	s.mux.Handle("/v1/healthz", cfg.Metrics.InstrumentHandler("healthz", http.HandlerFunc(s.handleHealthz)))
+	s.mux.Handle("/v1/modelz", cfg.Metrics.InstrumentHandler("modelz", http.HandlerFunc(s.handleModelz)))
+	s.mux.Handle("/v1/reload", cfg.Metrics.InstrumentHandler("reload", http.HandlerFunc(s.handleReload)))
+	info := handle.Current().Info
+	cfg.Log.Info("model loaded", "path", info.Path, "sha256", info.SHA256, "bytes", info.Bytes,
+		"workers", cfg.Workers, "queue", cfg.QueueDepth)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler (all /v1/ endpoints).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Current returns the model snapshot serving right now.
+func (s *Server) Current() *ModelSnapshot { return s.handle.Current() }
+
+// Reload re-reads the snapshot file and swaps it in; the previous
+// model keeps serving on any error. Wired to SIGHUP and POST
+// /v1/reload.
+func (s *Server) Reload() (*ModelSnapshot, error) { return s.handle.Reload() }
+
+// Close drains the worker pool. Call after the HTTP listener has shut
+// down; queued jobs finish, new submissions panic — the HTTP layer
+// must already be stopped.
+func (s *Server) Close() { s.pool.close() }

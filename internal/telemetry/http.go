@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// InstrumentHandler wraps an http.Handler with request metrics under
+// the given route label:
+//
+//	http.<route>.requests      counter of requests received
+//	http.<route>.seconds       latency histogram (handler time)
+//	http.<route>.inflight      gauge of currently executing requests
+//	http.<route>.status.<c>xx  counters per status class (1xx..5xx)
+//
+// Metric handles are resolved once here — the per-request path touches
+// only atomics. On a nil registry the handler is returned unwrapped,
+// keeping the no-telemetry path free.
+func (r *Registry) InstrumentHandler(route string, next http.Handler) http.Handler {
+	if r == nil {
+		return next
+	}
+	requests := r.Counter("http." + route + ".requests")
+	latency := r.Timer("http." + route + ".seconds")
+	inflight := r.Gauge("http." + route + ".inflight")
+	var classes [5]*Counter
+	for i, c := range []string{"1xx", "2xx", "3xx", "4xx", "5xx"} {
+		classes[i] = r.Counter("http." + route + ".status." + c)
+	}
+	var live atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		requests.Inc()
+		inflight.Set(float64(live.Add(1)))
+		sp := latency.Start()
+		sw := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, req)
+		sp.End()
+		inflight.Set(float64(live.Add(-1)))
+		if i := sw.code/100 - 1; i >= 0 && i < len(classes) {
+			classes[i].Inc()
+		}
+	})
+}
+
+// statusRecorder captures the response status code. The first explicit
+// WriteHeader wins, matching net/http semantics; an implicit 200 from
+// Write-without-WriteHeader is the initial value.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	if !s.wrote {
+		s.code = code
+		s.wrote = true
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(b []byte) (int, error) {
+	s.wrote = true
+	return s.ResponseWriter.Write(b)
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer
+// (flush, deadlines) through the recorder.
+func (s *statusRecorder) Unwrap() http.ResponseWriter { return s.ResponseWriter }

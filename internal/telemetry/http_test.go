@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestInstrumentHandlerNilRegistry(t *testing.T) {
+	var reg *Registry
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	})
+	h := reg.InstrumentHandler("x", inner)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("nil-registry middleware altered the handler: status %d", rec.Code)
+	}
+}
+
+func TestInstrumentHandlerCounts(t *testing.T) {
+	reg := NewRegistry()
+	status := http.StatusOK
+	var sawInflight float64
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Mid-request the inflight gauge must show this request.
+		sawInflight = reg.Gauge("http.t.inflight").Value()
+		w.WriteHeader(status)
+	})
+	h := reg.InstrumentHandler("t", inner)
+
+	statuses := []int{200, 201, 404, 500, 302}
+	for _, st := range statuses {
+		status = st
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+		if rec.Code != st {
+			t.Fatalf("middleware rewrote status: got %d want %d", rec.Code, st)
+		}
+	}
+
+	if got := reg.Counter("http.t.requests").Value(); got != int64(len(statuses)) {
+		t.Errorf("requests = %d, want %d", got, len(statuses))
+	}
+	for name, want := range map[string]int64{
+		"http.t.status.2xx": 2,
+		"http.t.status.3xx": 1,
+		"http.t.status.4xx": 1,
+		"http.t.status.5xx": 1,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.Histogram("http.t.seconds", LatencyBuckets()).Count(); got != int64(len(statuses)) {
+		t.Errorf("latency observations = %d, want %d", got, len(statuses))
+	}
+	if sawInflight != 1 {
+		t.Errorf("inflight during request = %v, want 1", sawInflight)
+	}
+	if got := reg.Gauge("http.t.inflight").Value(); got != 0 {
+		t.Errorf("inflight after requests = %v, want 0", got)
+	}
+}
+
+// TestInstrumentHandlerImplicit200 covers the Write-without-WriteHeader
+// path: net/http treats it as 200, and so must the recorder.
+func TestInstrumentHandlerImplicit200(t *testing.T) {
+	reg := NewRegistry()
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+		// A late WriteHeader must not override the implicit 200 in the
+		// recorded class (net/http would log and ignore it too).
+	})
+	h := reg.InstrumentHandler("w", inner)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if got := reg.Counter("http.w.status.2xx").Value(); got != 1 {
+		t.Errorf("implicit 200 not counted as 2xx: %d", got)
+	}
+}

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke of the serving layer (Makefile
+# target `serve-smoke`, part of `make ci`).
+#
+# Trains a tiny model, boots `tdc serve` on an ephemeral port, drives
+# the four endpoints with curl and asserts the JSON fields scripted
+# clients depend on: model_hash consistency, classify results shape,
+# reload idempotence, modelz metadata. Finishes with a SIGTERM and
+# checks the drain exits cleanly.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+dir=$(mktemp -d)
+server_pid=""
+cleanup() {
+  if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+    kill -9 "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$dir"
+}
+trap cleanup EXIT
+
+fail() { echo "serve-smoke: FAIL: $*" >&2; [ -f "$dir/serve.out" ] && sed 's/^/  server: /' "$dir/serve.out" >&2; exit 1; }
+
+command -v jq >/dev/null || fail "jq is required"
+command -v curl >/dev/null || fail "curl is required"
+
+echo "serve-smoke: building tdc"
+go build -o "$dir/tdc" ./cmd/tdc
+
+echo "serve-smoke: training tiny model"
+"$dir/tdc" train -profile smoke -scale 0.006 -method df -out "$dir/model.json" >/dev/null
+
+echo "serve-smoke: starting server"
+"$dir/tdc" serve -model "$dir/model.json" -method df -addr localhost:0 \
+  -timeout 30s -drain 5s >"$dir/serve.out" 2>&1 &
+server_pid=$!
+
+base=""
+for _ in $(seq 1 100); do
+  base=$(sed -n 's#^serving on \(http://.*\)$#\1#p' "$dir/serve.out" | head -1)
+  [ -n "$base" ] && break
+  kill -0 "$server_pid" 2>/dev/null || fail "server exited during startup"
+  sleep 0.1
+done
+[ -n "$base" ] || fail "server never printed its address"
+echo "serve-smoke: server at $base"
+
+# --- healthz ---------------------------------------------------------
+health=$(curl -fsS "$base/v1/healthz")
+[ "$(jq -r .status <<<"$health")" = "ok" ] || fail "healthz status: $health"
+hash=$(jq -r .model_hash <<<"$health")
+grep -Eq '^[0-9a-f]{64}$' <<<"$hash" || fail "healthz model_hash not a sha256: $hash"
+
+# --- classify: single ------------------------------------------------
+single=$(curl -fsS -H 'Content-Type: application/json' \
+  -d '{"id":"smoke-1","text":"oil crude barrel prices rose sharply"}' \
+  "$base/v1/classify")
+[ "$(jq -r .model_hash <<<"$single")" = "$hash" ] || fail "classify hash != healthz hash: $single"
+[ "$(jq '.results | length' <<<"$single")" = "1" ] || fail "single classify result count: $single"
+[ "$(jq -r '.results[0].id' <<<"$single")" = "smoke-1" ] || fail "classify did not echo id: $single"
+jq -e '.results[0].categories | type == "array"' <<<"$single" >/dev/null || fail "categories not an array: $single"
+
+# --- classify: batch with scores -------------------------------------
+batch=$(curl -fsS -H 'Content-Type: application/json' \
+  -d '{"documents":[{"id":"a","text":"wheat corn grain tonnes shipment"},{"id":"b","text":"bank rate money interest"}],"scores":true}' \
+  "$base/v1/classify")
+[ "$(jq '.results | length' <<<"$batch")" = "2" ] || fail "batch result count: $batch"
+jq -e '.results[0].predictions | length > 0' <<<"$batch" >/dev/null || fail "scores:true returned no predictions: $batch"
+jq -e '.results[0].predictions[0] | has("category") and has("score") and has("in_class")' <<<"$batch" >/dev/null \
+  || fail "prediction shape: $batch"
+
+# --- malformed request -> 400 ----------------------------------------
+code=$(curl -s -o /dev/null -w '%{http_code}' -d 'not json' "$base/v1/classify")
+[ "$code" = "400" ] || fail "malformed body got HTTP $code, want 400"
+
+# --- reload (same file) ----------------------------------------------
+reload=$(curl -fsS -X POST "$base/v1/reload")
+[ "$(jq -r .model_hash <<<"$reload")" = "$hash" ] || fail "reload changed hash unexpectedly: $reload"
+[ "$(jq -r .changed <<<"$reload")" = "false" ] || fail "reload of identical snapshot reported changed: $reload"
+
+# --- modelz ----------------------------------------------------------
+modelz=$(curl -fsS "$base/v1/modelz")
+[ "$(jq -r .model_hash <<<"$modelz")" = "$hash" ] || fail "modelz hash: $modelz"
+[ "$(jq -r .feature_method <<<"$modelz")" = "df" ] || fail "modelz feature_method: $modelz"
+jq -e '.categories | length > 0' <<<"$modelz" >/dev/null || fail "modelz categories empty: $modelz"
+jq -e '.metrics.counters["serve.docs"] >= 3' <<<"$modelz" >/dev/null || fail "modelz serve.docs counter: $modelz"
+jq -e '.metrics.counters["http.classify.requests"] >= 3' <<<"$modelz" >/dev/null || fail "modelz http counters: $modelz"
+
+# --- graceful shutdown -----------------------------------------------
+kill -TERM "$server_pid"
+if ! wait "$server_pid"; then
+  fail "server did not exit cleanly on SIGTERM"
+fi
+server_pid=""
+echo "serve-smoke: OK"
