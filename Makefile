@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-baseline test race race-serve bench telemetry-smoke fuzz-smoke serve-smoke fmt-check ci
+.PHONY: all build vet lint lint-baseline test race race-serve bench bench-encode encode-smoke telemetry-smoke fuzz-smoke serve-smoke fmt-check ci
 
 all: build
 
@@ -56,6 +56,23 @@ bench:
 	$(GO) test -run '^$$' -bench '^Benchmark(BMU|TrainEpoch|Tournament|RunSequence|ModelScore)' -benchtime 10x \
 		./internal/som/ ./internal/lgp/ .
 
+# Encode-kernel benchmarks with allocation reporting: the sparse/dense
+# level-2 BMU sweep, the cold-word path (fanout table vs legacy live
+# search) and full-document encoding per kernel — the numbers recorded
+# in BENCH_PR6.json.
+bench-encode:
+	$(GO) test -run '^$$' -bench '^Benchmark(BMUSparse|WordVectorCold|EncodeDocument)' -benchmem \
+		./internal/som/ ./internal/hsom/
+
+# Encode bench smoke: fails the build if a //tdlint:hotpath encode
+# kernel ever allocates. TestSparseKernelZeroAlloc and
+# TestEncodeKernelsZeroAlloc assert AllocsPerRun == 0 over the sparse
+# BMU sweeps (both precisions), the warm word-cache lookup and the
+# sparse Gaussian evaluation (same shape as telemetry-smoke).
+encode-smoke:
+	$(GO) test -run 'TestSparseKernelZeroAlloc' -count=1 ./internal/som/
+	$(GO) test -run 'TestEncodeKernelsZeroAlloc' -count=1 ./internal/hsom/
+
 # Telemetry bench smoke: fails the build if the disabled telemetry path
 # ever allocates. TestDisabledPathZeroAlloc asserts AllocsPerRun == 0
 # over every no-op metric call, and BenchmarkDisabledNoop keeps the
@@ -89,4 +106,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet lint build test race race-serve bench telemetry-smoke fuzz-smoke serve-smoke
+ci: fmt-check vet lint build test race race-serve bench telemetry-smoke encode-smoke fuzz-smoke serve-smoke

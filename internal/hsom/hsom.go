@@ -153,7 +153,8 @@ type Gaussian struct {
 	MinValue float64
 }
 
-// Eval returns the raw Gaussian value at x.
+// Eval returns the raw Gaussian value at x. EvalSparse is the
+// bit-identical sparse-input form.
 //
 //tdlint:hotpath
 func (g *Gaussian) Eval(x []float64) float64 {
@@ -162,13 +163,7 @@ func (g *Gaussian) Eval(x []float64) float64 {
 		diff := x[i] - g.Mean[i]
 		d2 += diff * diff
 	}
-	sigma2 := g.Variance
-	if sigma2 < 1e-12 {
-		// Degenerate BMU: all training words identical. Exact matches
-		// get the max value, everything else decays sharply.
-		sigma2 = 1e-12
-	}
-	return 1 / math.Sqrt(2*math.Pi*sigma2) * math.Exp(-d2/(2*sigma2))
+	return g.value(d2)
 }
 
 // CategoryEncoder is the trained second-level machinery of one category:
@@ -180,6 +175,9 @@ type CategoryEncoder struct {
 	selected []int
 	gauss    map[int]*Gaussian
 	hits     []int // training hit histogram over all units
+	// k32 is the derived float32 weight view backing KernelFloat32.
+	// Built by SetKernel, never persisted.
+	k32 *som.F32Kernel
 }
 
 // SelectedBMUs returns the selected (informative) unit indices in
@@ -231,7 +229,15 @@ func (c *Config) somObserver(level, category string) func(som.EpochStats) {
 // value (nil handles) is the no-op default.
 type encMetrics struct {
 	wvHit, wvMiss *telemetry.Counter
-	bmuBatch      telemetry.Timer
+	// wvStampede counts cold-word computations that would have been
+	// duplicated (and their results discarded) without the cache's
+	// write-lock recheck — two goroutines racing on the same cold word.
+	wvStampede *telemetry.Counter
+	// wvFallback counts characters encoded through the live NearestK
+	// search instead of the fanout table (positions past the table
+	// bound).
+	wvFallback *telemetry.Counter
+	bmuBatch   telemetry.Timer
 }
 
 func newEncMetrics(reg *telemetry.Registry) encMetrics {
@@ -239,9 +245,11 @@ func newEncMetrics(reg *telemetry.Registry) encMetrics {
 		return encMetrics{}
 	}
 	return encMetrics{
-		wvHit:    reg.Counter("hsom.wordvec.cache.hits"),
-		wvMiss:   reg.Counter("hsom.wordvec.cache.misses"),
-		bmuBatch: reg.Timer("hsom.bmu_batch.seconds"),
+		wvHit:      reg.Counter("hsom.wordvec.cache.hits"),
+		wvMiss:     reg.Counter("hsom.wordvec.cache.misses"),
+		wvStampede: reg.Counter("hsom.wordvec.cache.stampede"),
+		wvFallback: reg.Counter("hsom.wordvec.fanout.fallback"),
+		bmuBatch:   reg.Timer("hsom.bmu_batch.seconds"),
 	}
 }
 
@@ -252,13 +260,25 @@ type Encoder struct {
 	categories map[string]*CategoryEncoder
 	met        encMetrics
 
-	// wordVecs caches the (deterministic, charMap-derived) word vector of
-	// every word ever encoded, so repeated occurrences — the common case
-	// both during category-SOM training and document encoding — cost one
-	// map lookup instead of a NearestK search per character. Guarded by
-	// mu: encoding runs concurrently during evaluation.
+	// fan is the precomputed (letter, position) → top-k-unit table the
+	// cold-word path reads instead of searching the char map. Derived
+	// from the frozen char map (rebuilt on snapshot load, never
+	// persisted); nil forces every character onto the live-search
+	// fallback.
+	fan *fanoutTable
+
+	// kernel is the active level-2 distance kernel (see SetKernel);
+	// the zero value is KernelFloat64.
+	kernel Kernel
+
+	// wordVecs caches the (deterministic, charMap-derived) encoding
+	// state of every word ever encoded — dense vector plus sparse forms
+	// — so repeated occurrences (the common case both during
+	// category-SOM training and document encoding) cost one map lookup
+	// instead of a search per character. Guarded by mu; each entry is
+	// filled exactly once under its own sync.Once (see lookupWord).
 	mu       sync.RWMutex
-	wordVecs map[string][]float64
+	wordVecs map[string]*wordEntry
 }
 
 // Train builds the hierarchy from training documents. perCategory maps
@@ -318,6 +338,9 @@ func Train(cfg Config, perCategory map[string][]corpus.Document) (*Encoder, erro
 		categories: make(map[string]*CategoryEncoder, len(perCategory)),
 		met:        newEncMetrics(cfg.Metrics),
 	}
+	// The char map is frozen from here on; precompute its fanout before
+	// the category loop so level-2 training already encodes through it.
+	enc.fan = newFanoutTable(charMap, cfg.BMUFanout)
 
 	// Level 2: one word code-book per category, in deterministic order.
 	for seedOffset, cat := range cats {
@@ -336,28 +359,7 @@ func Train(cfg Config, perCategory map[string][]corpus.Document) (*Encoder, erro
 // cached per word (the character map is frozen once trained), so the
 // returned slice is shared — callers must not modify it.
 func (e *Encoder) WordVector(word string) []float64 {
-	e.mu.RLock()
-	vec, ok := e.wordVecs[word]
-	e.mu.RUnlock()
-	if ok {
-		e.met.wvHit.Inc()
-		return vec
-	}
-	e.met.wvMiss.Inc()
-	vec = make([]float64, e.charMap.Units())
-	for _, ci := range CharInputs(word) {
-		near := e.charMap.NearestK(ci, e.cfg.BMUFanout)
-		for rank, unit := range near {
-			vec[unit] += 1 / float64(rank+1)
-		}
-	}
-	e.mu.Lock()
-	if e.wordVecs == nil {
-		e.wordVecs = make(map[string][]float64)
-	}
-	e.wordVecs[word] = vec
-	e.mu.Unlock()
-	return vec
+	return e.lookupWord(word).dense
 }
 
 // AttachTelemetry points the encoder's runtime metric handles at reg
@@ -431,11 +433,20 @@ func (e *Encoder) trainCategory(cat string, docs []corpus.Document, seed int64) 
 		selectedSet[u] = true
 	}
 
-	// Gaussian membership per selected BMU (Figure 4).
+	// Gaussian membership per selected BMU (Figure 4). Group occurrence
+	// indices by BMU once — the per-unit rescan of every occurrence was
+	// O(selected × occurrences). Appending in increasing occurrence order
+	// preserves the rescan's member order exactly, so the fitted values
+	// are the same bytes.
+	byUnit := make([][]int, wordMap.Units())
+	for i, b := range bmus {
+		if selectedSet[b] {
+			byUnit[b] = append(byUnit[b], i)
+		}
+	}
 	gauss := make(map[int]*Gaussian, len(selected))
 	for _, u := range selected {
-		g := fitGaussian(wordVecs, bmus, u)
-		gauss[u] = g
+		gauss[u] = fitGaussian(wordVecs, byUnit[u])
 	}
 	return &CategoryEncoder{
 		Category: cat,
@@ -497,18 +508,15 @@ func selectInformativeBMUs(hits []int, bmus []int, docRanges [][2]int) []int {
 }
 
 // fitGaussian computes the mean vector and scalar variance of the word
-// vectors whose BMU is unit u, plus the max/min raw Gaussian values over
-// those words (Figure 4).
-func fitGaussian(wordVecs [][]float64, bmus []int, u int) *Gaussian {
-	var members [][]float64
-	for i, b := range bmus {
-		if b == u {
-			members = append(members, wordVecs[i])
-		}
-	}
+// vectors at occurrence indices members (one BMU's training words), plus
+// the max/min raw Gaussian values over those words (Figure 4). members
+// must be in increasing occurrence order — the accumulation order the
+// determinism tests pin.
+func fitGaussian(wordVecs [][]float64, members []int) *Gaussian {
 	dim := len(wordVecs[0])
 	mean := make([]float64, dim)
-	for _, v := range members {
+	for _, i := range members {
+		v := wordVecs[i]
 		for d := range v {
 			mean[d] += v[d]
 		}
@@ -517,7 +525,8 @@ func fitGaussian(wordVecs [][]float64, bmus []int, u int) *Gaussian {
 		mean[d] /= float64(len(members))
 	}
 	var variance float64
-	for _, v := range members {
+	for _, i := range members {
+		v := wordVecs[i]
 		var d2 float64
 		for d := range v {
 			diff := v[d] - mean[d]
@@ -528,8 +537,8 @@ func fitGaussian(wordVecs [][]float64, bmus []int, u int) *Gaussian {
 	variance /= float64(len(members))
 	g := &Gaussian{Mean: mean, Variance: variance}
 	g.MaxValue, g.MinValue = math.Inf(-1), math.Inf(1)
-	for _, v := range members {
-		val := g.Eval(v)
+	for _, i := range members {
+		val := g.Eval(wordVecs[i])
 		if val > g.MaxValue {
 			g.MaxValue = val
 		}
@@ -553,11 +562,11 @@ func (e *Encoder) Encode(cat string, words []string) ([]WordCode, error) {
 	units := float64(ce.Map.Units() - 1)
 	out := make([]WordCode, 0, len(words))
 	for _, w := range words {
-		vec := e.WordVector(w)
-		u := ce.Map.BMU(vec)
+		en := e.lookupWord(w)
+		u := e.bmuFor(ce, en)
 		code := WordCode{Word: w, Unit: u}
 		if g, ok := ce.gauss[u]; ok {
-			raw := g.Eval(vec)
+			raw := e.membershipFor(g, en)
 			if raw >= g.MinValue {
 				code.Member = true
 				code.NormIndex = float64(u) / units
@@ -581,7 +590,7 @@ func (e *Encoder) BMUTrace(cat string, words []string) ([]int, error) {
 	}
 	out := make([]int, len(words))
 	for i, w := range words {
-		out[i] = ce.Map.BMU(e.WordVector(w))
+		out[i] = e.bmuFor(ce, e.lookupWord(w))
 	}
 	return out, nil
 }

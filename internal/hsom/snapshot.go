@@ -76,6 +76,10 @@ func FromSnapshot(s Snapshot) (*Encoder, error) {
 		charMap:    charMap,
 		categories: make(map[string]*CategoryEncoder, len(s.Categories)),
 	}
+	// The fanout table is derived state — snapshots persist only the char
+	// map weights, so rebuild the table from them here. Existing snapshot
+	// files load (and re-save) byte-for-byte unchanged.
+	enc.fan = newFanoutTable(charMap, cfg.BMUFanout)
 	for _, cs := range s.Categories {
 		if cs.Category == "" {
 			return nil, fmt.Errorf("hsom: snapshot category with empty name")

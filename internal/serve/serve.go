@@ -28,6 +28,7 @@ package serve
 import (
 	"net/http"
 
+	"temporaldoc/internal/hsom"
 	"temporaldoc/internal/telemetry"
 	"temporaldoc/internal/textproc"
 )
@@ -53,7 +54,7 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
-	handle, err := OpenHandle(cfg.ModelPath, cfg.Method, cfg.Metrics)
+	handle, err := OpenHandle(cfg.ModelPath, cfg.Method, hsom.Kernel(cfg.Kernel), cfg.Metrics)
 	if err != nil {
 		return nil, err
 	}

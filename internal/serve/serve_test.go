@@ -481,6 +481,94 @@ func TestServeMethodMismatch(t *testing.T) {
 	}
 }
 
+// TestServeKernelConfig checks kernel selection is validated at
+// construction and applied to the loaded model — and survives a reload.
+func TestServeKernelConfig(t *testing.T) {
+	f := getFixture(t)
+	if _, err := New(Config{ModelPath: f.pathA, Kernel: "float16"}); err == nil {
+		t.Fatal("server accepted an unknown kernel")
+	}
+	s := newTestServer(t, f.pathA, func(c *Config) { c.Kernel = "float32" })
+	if got := s.Current().Model.Kernel(); got != "float32" {
+		t.Fatalf("loaded model kernel = %q, want float32", got)
+	}
+	if _, err := s.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Current().Model.Kernel(); got != "float32" {
+		t.Fatalf("kernel lost across reload: %q", got)
+	}
+}
+
+// TestServeKernelParityWithLegacyOffline is the cross-kernel
+// byte-identity wall: the server on the default table+sparse kernel
+// must produce byte-identical predictions to offline classification on
+// the legacy dense reference path.
+func TestServeKernelParityWithLegacyOffline(t *testing.T) {
+	f := getFixture(t)
+	s := newTestServer(t, f.pathA, func(c *Config) {
+		c.MaxBatch = 100
+		c.MaxBodyBytes = 8 << 20
+	})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	// Offline reference: a fresh load of the same snapshot, forced onto
+	// the legacy kernel (f.modelA is shared fixture state — leave it be).
+	ref, _, err := core.LoadFile(f.pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.SetKernel("legacy"); err != nil {
+		t.Fatal(err)
+	}
+
+	const total, batch = 200, 100
+	var serverOut, offlineOut bytes.Buffer
+	for start := 0; start < total; start += batch {
+		var entries []string
+		for i := start; i < start+batch; i++ {
+			d := &f.corpus.Test[i%len(f.corpus.Test)]
+			entries = append(entries, fmt.Sprintf(`{"id":"doc-%d","text":%q}`, i, docText(d)))
+		}
+		resp, b := postJSON(t, hs.URL+"/v1/classify",
+			`{"documents":[`+strings.Join(entries, ",")+`],"scores":true}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch at %d: status %d: %s", start, resp.StatusCode, b)
+		}
+		for i, res := range decodeClassify(t, b).Results {
+			fmt.Fprintf(&serverOut, "doc-%d %v", start+i, res.Categories)
+			for _, p := range res.Predictions {
+				fmt.Fprintf(&serverOut, " %s=%v", p.Category, p.Score)
+			}
+			fmt.Fprintln(&serverOut)
+		}
+	}
+	pre := textproc.NewPreprocessor(textproc.Options{})
+	for i := 0; i < total; i++ {
+		d := &f.corpus.Test[i%len(f.corpus.Test)]
+		doc := corpus.Document{ID: fmt.Sprintf("doc-%d", i), Words: pre.Process(docText(d))}
+		preds, err := ref.ClassifyDoc(&doc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cats := []string{}
+		for _, p := range preds {
+			if p.InClass {
+				cats = append(cats, p.Category)
+			}
+		}
+		fmt.Fprintf(&offlineOut, "doc-%d %v", i, cats)
+		for _, p := range preds {
+			fmt.Fprintf(&offlineOut, " %s=%v", p.Category, p.Score)
+		}
+		fmt.Fprintln(&offlineOut)
+	}
+	if !bytes.Equal(serverOut.Bytes(), offlineOut.Bytes()) {
+		t.Fatal("sparse-kernel server and legacy-kernel offline predictions differ")
+	}
+}
+
 // TestServeParityWithOffline is the acceptance check: a 1000-document
 // run through the HTTP server must produce byte-identical predictions
 // to offline classification on the same snapshot.
