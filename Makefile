@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-baseline test race race-serve bench bench-encode encode-smoke telemetry-smoke fuzz-smoke serve-smoke fmt-check ci
+.PHONY: all build vet lint lint-baseline test race race-serve bench bench-encode bench-serve encode-smoke telemetry-smoke fuzz-smoke serve-smoke loadgen-smoke fmt-check ci
 
 all: build
 
@@ -99,6 +99,21 @@ fuzz-smoke:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# Loadgen smoke: a short closed-loop soak of `tdc loadgen` against an
+# in-process server (TestLoadgenSoak + the open-loop variant) asserting
+# zero 5xx and client/server statz agreement on counts and percentiles.
+# Also re-runs the stage-trace zero-alloc gate, since loadgen's numbers
+# are only honest if tracing stays off the allocation books.
+loadgen-smoke:
+	$(GO) test -run 'TestLoadgen' -count=1 ./internal/loadgen/
+	$(GO) test -run 'TestStageTraceZeroAllocWhenNotSampling' -count=1 ./internal/telemetry/
+
+# The serving benchmark: boots `tdc serve`, drives it with `tdc loadgen`
+# in closed and open mode and writes BENCH_PR7.json (client + server
+# percentiles, throughput, shed/timeout rates, agreement verdicts).
+bench-serve:
+	./scripts/bench_serve.sh
+
 # Fails when any tracked Go file is not gofmt-formatted.
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -106,4 +121,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet lint build test race race-serve bench telemetry-smoke encode-smoke fuzz-smoke serve-smoke
+ci: fmt-check vet lint build test race race-serve bench telemetry-smoke encode-smoke fuzz-smoke serve-smoke loadgen-smoke

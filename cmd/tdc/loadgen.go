@@ -1,0 +1,123 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"temporaldoc/internal/loadgen"
+)
+
+// cmdLoadgen drives a running `tdc serve` with synthetic classify
+// traffic and writes the measured report as JSON: client-side latency
+// percentiles and error rates, plus the server's own /v1/statz view of
+// the same window and the agreement verdicts between the two.
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	target := fs.String("target", "http://localhost:8080", "base URL of the server under test")
+	mode := fs.String("mode", "closed", "driving mode: closed (fixed concurrency) or open (arrival clock)")
+	concurrency := fs.Int("concurrency", 0, "closed-loop workers / open-loop in-flight cap (0 = default)")
+	rate := fs.Float64("rate", 0, "open-loop arrival rate, requests/second")
+	arrival := fs.String("arrival", "poisson", "open-loop inter-arrival process: constant or poisson")
+	warmup := fs.Duration("warmup", time.Second, "warmup window (driven, not measured)")
+	duration := fs.Duration("duration", 10*time.Second, "measurement window")
+	docMean := fs.Float64("doc-mean", 40, "mean document length, words")
+	docStddev := fs.Float64("doc-stddev", 15, "document length standard deviation")
+	docMin := fs.Int("doc-min", 5, "minimum document length")
+	docMax := fs.Int("doc-max", 200, "maximum document length")
+	batchMix := fs.String("batch-mix", "1=1", "batch-size mix as size=weight pairs, e.g. '1=3,8=1'")
+	seed := fs.Int64("seed", 1, "request-stream seed (fixed seed = identical traffic)")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "client-side per-request timeout")
+	out := fs.String("out", "", "write the JSON report to this file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mix, err := parseBatchMix(*batchMix)
+	if err != nil {
+		return err
+	}
+
+	cfg := loadgen.Config{
+		BaseURL:        *target,
+		Mode:           loadgen.Mode(*mode),
+		Concurrency:    *concurrency,
+		Rate:           *rate,
+		Arrival:        loadgen.Arrival(*arrival),
+		Warmup:         *warmup,
+		Duration:       *duration,
+		DocLen:         loadgen.LengthDist{Mean: *docMean, Stddev: *docStddev, Min: *docMin, Max: *docMax},
+		BatchMix:       mix,
+		Seed:           *seed,
+		RequestTimeout: *reqTimeout,
+	}
+
+	// Ctrl-C ends the run early; Run treats the cancel as end-of-window
+	// and still returns the report for what was measured.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "tdc loadgen: close %s: %v\n", *out, err)
+			}
+		}()
+		w = f
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "report written to %s\n", *out)
+	}
+	// A one-line human summary on stderr, whatever the report sink.
+	fmt.Fprintf(os.Stderr,
+		"%s: %d sent, %.1f rps, p50 %.2fms p95 %.2fms p99 %.2fms, shed %.2f%%, timeout %.2f%%\n",
+		rep.Mode, rep.Requests.Sent, rep.AchievedRPS,
+		rep.Latency.P50MS, rep.Latency.P95MS, rep.Latency.P99MS,
+		rep.ShedRate*100, rep.TimeoutRate*100)
+	if s := rep.Server; s != nil && s.Error == "" {
+		fmt.Fprintf(os.Stderr, "statz cross-check: counts_agree=%v (diff %d), percentiles_agree=%v (p50 ratio %.2f)\n",
+			s.CountsAgree, s.CountsDiff, s.PercentilesAgree, s.P50RatioClient)
+	}
+	return nil
+}
+
+// parseBatchMix parses "1=3,8=1" into batch weights.
+func parseBatchMix(s string) ([]loadgen.BatchWeight, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var mix []loadgen.BatchWeight
+	for _, part := range strings.Split(s, ",") {
+		size, weight, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -batch-mix entry %q (want size=weight)", part)
+		}
+		n, err := strconv.Atoi(size)
+		if err != nil {
+			return nil, fmt.Errorf("bad -batch-mix size %q: %v", size, err)
+		}
+		w, err := strconv.ParseFloat(weight, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -batch-mix weight %q: %v", weight, err)
+		}
+		mix = append(mix, loadgen.BatchWeight{Size: n, Weight: w})
+	}
+	return mix, nil
+}

@@ -11,10 +11,12 @@
 //	tdc trace    -category earn -profile smoke
 //	tdc rule     -category earn -profile smoke
 //	tdc serve    -model model.json -addr localhost:8080
+//	tdc loadgen  -target http://localhost:8080 -duration 10s
 //
-// All subcommands are deterministic for a fixed -seed; serve is the
-// long-lived exception (it answers whatever traffic arrives, but
-// classification itself stays deterministic per model snapshot).
+// All subcommands are deterministic for a fixed -seed; serve and
+// loadgen are the long-lived exceptions (they answer or generate live
+// traffic, but classification itself stays deterministic per model
+// snapshot, and loadgen's request stream is seed-reproducible).
 package main
 
 import (
@@ -52,6 +54,8 @@ func main() {
 		err = cmdClassify(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "loadgen":
+		err = cmdLoadgen(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
 	case "sizing":
@@ -83,6 +87,7 @@ Subcommands:
   train      train a model and persist it as JSON
   classify   classify SGML documents with a persisted model
   serve      serve a persisted model over an HTTP JSON API
+  loadgen    benchmark a running serve instance with synthetic traffic
   stats      print corpus statistics
   sizing     search SOM geometries by quantisation error (AWC study)
   inspect    summarise a persisted model (rules, thresholds, BMUs)

@@ -35,6 +35,7 @@ func cmdServe(args []string) error {
 	maxBody := fs.Int64("max-body", 0, "request body byte limit (default 1 MiB)")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline before 504")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown connection drain budget")
+	traceSample := fs.Int("trace-sample", 0, "emit every Nth request as a JSONL trace record to -trace-events (0 disables)")
 	tf := registerTelemetryFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,17 +59,23 @@ func cmdServe(args []string) error {
 		reg = telemetry.NewRegistry()
 	}
 
+	if *traceSample > 0 && ts.events == nil {
+		return errors.New("-trace-sample needs -trace-events to write the records to")
+	}
+
 	srv, err := serve.New(serve.Config{
-		ModelPath:      *modelPath,
-		Method:         m,
-		Kernel:         *kernel,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		MaxBatch:       *maxBatch,
-		MaxBodyBytes:   *maxBody,
-		RequestTimeout: *timeout,
-		Metrics:        reg,
-		Log:            ts.log,
+		ModelPath:        *modelPath,
+		Method:           m,
+		Kernel:           *kernel,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		MaxBatch:         *maxBatch,
+		MaxBodyBytes:     *maxBody,
+		RequestTimeout:   *timeout,
+		Metrics:          reg,
+		Log:              ts.log,
+		Trace:            ts.events,
+		TraceSampleEvery: *traceSample,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,446 @@
+// Package loadgen is the serving benchmark harness: a stdlib-only load
+// generator that drives a running `tdc serve` instance with synthetic
+// classify traffic and measures what came back — the instrument the
+// serving layer's performance story is told with.
+//
+// Two driving modes, after the GuideLLM-style generators the
+// inference-sim literature uses:
+//
+//   - closed loop: N workers each keep exactly one request in flight —
+//     throughput is emergent, concurrency is controlled;
+//   - open loop: requests arrive on a clock at a configured rate
+//     (constant or Poisson inter-arrivals) regardless of how fast the
+//     server answers — latency under a fixed offered load is measured,
+//     including the queueing the closed loop can never see.
+//
+// The run is phased: a warmup window that is driven but not measured,
+// then a barrier (all in-flight requests drain) at which server-side
+// telemetry snapshots are taken, then the measurement window, another
+// drain, and a final snapshot. Because the barriers leave nothing in
+// flight, the server-side deltas cover exactly the measured requests,
+// and the client/server cross-check in the report can demand agreement
+// rather than hand-wave at it.
+//
+// Document text is synthesised per request from a seeded RNG: lengths
+// from a clamped normal distribution, words from a vocabulary, batch
+// sizes from a weighted mix. Fixed seed → identical request stream,
+// so runs are comparable across builds.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Mode selects the driving discipline.
+type Mode string
+
+const (
+	// Closed keeps Concurrency requests in flight at all times.
+	Closed Mode = "closed"
+	// Open issues requests on an arrival clock at Rate per second.
+	Open Mode = "open"
+)
+
+// Arrival selects the open-loop inter-arrival process.
+type Arrival string
+
+const (
+	// Constant spaces arrivals exactly 1/Rate apart.
+	Constant Arrival = "constant"
+	// Poisson draws exponential inter-arrival gaps with mean 1/Rate —
+	// the memoryless process real independent clients approximate.
+	Poisson Arrival = "poisson"
+)
+
+// LengthDist parameterises the per-document word count: a normal
+// distribution clamped to [Min, Max].
+type LengthDist struct {
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	Min    int     `json:"min"`
+	Max    int     `json:"max"`
+}
+
+// BatchWeight is one entry of the batch-size mix: batches of Size
+// documents are issued in proportion to Weight.
+type BatchWeight struct {
+	Size   int     `json:"size"`
+	Weight float64 `json:"weight"`
+}
+
+// Config parameterises one load run. Zero values take benchmark-safe
+// defaults; BaseURL is required.
+type Config struct {
+	// BaseURL is the server under test, e.g. "http://localhost:8080".
+	BaseURL string
+	// Mode is closed (default) or open.
+	Mode Mode
+	// Concurrency is the closed-loop worker count (default 8) and the
+	// open-loop in-flight cap (default 4×⌈Rate⌉, floor 64).
+	Concurrency int
+	// Rate is the open-loop arrival rate in requests/second (required
+	// in open mode).
+	Rate float64
+	// Arrival is the open-loop inter-arrival process (default poisson).
+	Arrival Arrival
+	// Warmup is driven but not measured (default 1s).
+	Warmup time.Duration
+	// Duration is the measurement window (default 10s).
+	Duration time.Duration
+	// DocLen is the document word-count distribution
+	// (default mean 40, stddev 15, min 5, max 200).
+	DocLen LengthDist
+	// BatchMix weights the batch sizes issued (default: all batches of
+	// one document).
+	BatchMix []BatchWeight
+	// Vocabulary is the word pool documents draw from (default: a
+	// built-in Reuters-flavoured list).
+	Vocabulary []string
+	// Seed makes the request stream reproducible (default 1).
+	Seed int64
+	// RequestTimeout bounds one HTTP round trip client-side (default
+	// 30s — above the server's own 504 deadline, so server timeouts
+	// surface as 504 counts, not client aborts).
+	RequestTimeout time.Duration
+}
+
+func (c *Config) setDefaults() error {
+	if c.BaseURL == "" {
+		return fmt.Errorf("loadgen: Config.BaseURL is required")
+	}
+	c.BaseURL = strings.TrimRight(c.BaseURL, "/")
+	switch c.Mode {
+	case "":
+		c.Mode = Closed
+	case Closed, Open:
+	default:
+		return fmt.Errorf("loadgen: unknown mode %q (closed, open)", c.Mode)
+	}
+	if c.Mode == Open && c.Rate <= 0 {
+		return fmt.Errorf("loadgen: open mode requires Rate > 0")
+	}
+	switch c.Arrival {
+	case "":
+		c.Arrival = Poisson
+	case Constant, Poisson:
+	default:
+		return fmt.Errorf("loadgen: unknown arrival %q (constant, poisson)", c.Arrival)
+	}
+	if c.Concurrency <= 0 {
+		if c.Mode == Open {
+			c.Concurrency = 4 * int(c.Rate+1)
+			if c.Concurrency < 64 {
+				c.Concurrency = 64
+			}
+		} else {
+			c.Concurrency = 8
+		}
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("loadgen: negative warmup")
+	}
+	if c.Warmup == 0 {
+		c.Warmup = time.Second
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.DocLen.Mean <= 0 {
+		c.DocLen = LengthDist{Mean: 40, Stddev: 15, Min: 5, Max: 200}
+	}
+	if c.DocLen.Min <= 0 {
+		c.DocLen.Min = 1
+	}
+	if c.DocLen.Max < c.DocLen.Min {
+		return fmt.Errorf("loadgen: DocLen.Max %d < Min %d", c.DocLen.Max, c.DocLen.Min)
+	}
+	if len(c.BatchMix) == 0 {
+		c.BatchMix = []BatchWeight{{Size: 1, Weight: 1}}
+	}
+	for _, bw := range c.BatchMix {
+		if bw.Size <= 0 || bw.Weight < 0 {
+			return fmt.Errorf("loadgen: bad batch mix entry %+v", bw)
+		}
+	}
+	if len(c.Vocabulary) == 0 {
+		c.Vocabulary = defaultVocabulary
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return nil
+}
+
+// defaultVocabulary is a Reuters-flavoured word pool; enough variety to
+// defeat the server's word cache being a single entry, small enough
+// that caches still warm up like production text would.
+var defaultVocabulary = []string{
+	"oil", "crude", "barrel", "prices", "rose", "fell", "sharply", "market",
+	"wheat", "corn", "grain", "tonnes", "shipment", "export", "harvest",
+	"bank", "rate", "money", "interest", "dollar", "yen", "currency",
+	"trade", "deficit", "surplus", "earnings", "quarter", "profit", "loss",
+	"shares", "stock", "dividend", "merger", "acquisition", "company",
+	"ship", "port", "cargo", "tanker", "freight", "sugar", "coffee",
+	"cocoa", "copper", "gold", "reserves", "supply", "demand", "output",
+	"production", "opec", "agreement", "minister", "government", "budget",
+}
+
+// requestGen synthesises classify request bodies from one RNG. Not
+// goroutine-safe; each producer owns one.
+type requestGen struct {
+	cfg *Config
+	rng *rand.Rand
+	// cumulative batch-mix weights for O(mix) sampling
+	cum      []float64
+	cumTotal float64
+	buf      bytes.Buffer
+}
+
+func newRequestGen(cfg *Config, seed int64) *requestGen {
+	g := &requestGen{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	g.cum = make([]float64, len(cfg.BatchMix))
+	for i, bw := range cfg.BatchMix {
+		g.cumTotal += bw.Weight
+		g.cum[i] = g.cumTotal
+	}
+	return g
+}
+
+// next returns one request body and the number of documents in it. The
+// returned bytes are valid until the following call.
+func (g *requestGen) next() ([]byte, int) {
+	batch := g.cfg.BatchMix[0].Size
+	if g.cumTotal > 0 && len(g.cum) > 1 {
+		u := g.rng.Float64() * g.cumTotal
+		for i, c := range g.cum {
+			if u <= c {
+				batch = g.cfg.BatchMix[i].Size
+				break
+			}
+		}
+	}
+	g.buf.Reset()
+	if batch == 1 {
+		g.buf.WriteString(`{"text":"`)
+		g.writeDoc()
+		g.buf.WriteString(`"}`)
+		return g.buf.Bytes(), 1
+	}
+	g.buf.WriteString(`{"documents":[`)
+	for i := 0; i < batch; i++ {
+		if i > 0 {
+			g.buf.WriteByte(',')
+		}
+		g.buf.WriteString(`{"text":"`)
+		g.writeDoc()
+		g.buf.WriteString(`"}`)
+	}
+	g.buf.WriteString(`]}`)
+	return g.buf.Bytes(), batch
+}
+
+// writeDoc appends one synthetic document's text (vocabulary words only
+// — no JSON escaping needed).
+func (g *requestGen) writeDoc() {
+	n := int(g.rng.NormFloat64()*g.cfg.DocLen.Stddev + g.cfg.DocLen.Mean)
+	if n < g.cfg.DocLen.Min {
+		n = g.cfg.DocLen.Min
+	}
+	if n > g.cfg.DocLen.Max {
+		n = g.cfg.DocLen.Max
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			g.buf.WriteByte(' ')
+		}
+		g.buf.WriteString(g.cfg.Vocabulary[g.rng.Intn(len(g.cfg.Vocabulary))])
+	}
+}
+
+// outcome classifies one request's fate client-side.
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeClientErr
+	outcomeShed
+	outcomeTimeout
+	outcomeServerErr
+	outcomeTransport
+	numOutcomes
+)
+
+func classify(status int, err error) outcome {
+	switch {
+	case err != nil:
+		return outcomeTransport
+	case status == http.StatusServiceUnavailable:
+		return outcomeShed
+	case status == http.StatusGatewayTimeout:
+		return outcomeTimeout
+	case status >= 500:
+		return outcomeServerErr
+	case status >= 400:
+		return outcomeClientErr
+	default:
+		return outcomeOK
+	}
+}
+
+// fire issues one classify request and reports its latency and fate.
+func fire(client *http.Client, url string, body []byte) (time.Duration, outcome) {
+	start := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return time.Since(start), outcomeTransport
+	}
+	// Drain so the connection is reusable; the payload itself is not
+	// the measurement's business.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return time.Since(start), classify(resp.StatusCode, err)
+}
+
+// Run drives the configured load and returns the measured Report. The
+// context cancels the run early (the report covers what was measured up
+// to then).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	client := &http.Client{
+		Timeout: cfg.RequestTimeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Concurrency + 8,
+			MaxIdleConnsPerHost: cfg.Concurrency + 8,
+		},
+	}
+	url := cfg.BaseURL + "/v1/classify"
+
+	// Warmup phase: driven, not recorded. A cancelled context is not an
+	// error — the run reports whatever was measured before the cancel.
+	if cfg.Warmup > 0 {
+		warmupCol := newCollector(false)
+		if err := drive(ctx, &cfg, client, url, cfg.Warmup, warmupCol, cfg.Seed+7919); err != nil && !isCtxErr(err) {
+			return nil, fmt.Errorf("loadgen: warmup: %w", err)
+		}
+	}
+
+	// Barrier: nothing in flight. Snapshot the server.
+	pre, preErr := fetchServerState(client, cfg.BaseURL)
+
+	col := newCollector(true)
+	start := time.Now()
+	runErr := drive(ctx, &cfg, client, url, cfg.Duration, col, cfg.Seed)
+	elapsed := time.Since(start)
+	if runErr != nil && !isCtxErr(runErr) {
+		return nil, runErr
+	}
+
+	post, postErr := fetchServerState(client, cfg.BaseURL)
+	rep := buildReport(&cfg, col, elapsed)
+	switch {
+	case preErr != nil:
+		rep.Server = &ServerSide{Error: fmt.Sprintf("pre-run statz: %v", preErr)}
+	case postErr != nil:
+		rep.Server = &ServerSide{Error: fmt.Sprintf("post-run statz: %v", postErr)}
+	default:
+		rep.Server = crossCheck(pre, post, rep)
+	}
+	return rep, nil
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// drive runs one phase (warmup or measurement) to completion: issues
+// load for d, then drains every in-flight request before returning.
+func drive(ctx context.Context, cfg *Config, client *http.Client, url string, d time.Duration, col *collector, seed int64) error {
+	switch cfg.Mode {
+	case Closed:
+		return driveClosed(ctx, cfg, client, url, d, col, seed)
+	default:
+		return driveOpen(ctx, cfg, client, url, d, col, seed)
+	}
+}
+
+// driveClosed keeps cfg.Concurrency requests in flight until the
+// deadline; each worker owns its generator (seeded distinctly, so the
+// streams differ but reproducibly) and loops request → record.
+func driveClosed(ctx context.Context, cfg *Config, client *http.Client, url string, d time.Duration, col *collector, seed int64) error {
+	deadline := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		gen := newRequestGen(cfg, seed+int64(w)*104729)
+		go func(gen *requestGen) {
+			defer wg.Done()
+			for time.Since(deadline) < d && ctx.Err() == nil {
+				body, docs := gen.next()
+				lat, out := fire(client, url, body)
+				col.record(lat, out, docs)
+			}
+		}(gen)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// driveOpen issues arrivals on the configured clock until the deadline,
+// then waits for stragglers. In-flight requests are capped at
+// cfg.Concurrency; arrivals that would exceed the cap are counted as
+// saturated rather than silently delayed, keeping the offered-load
+// accounting honest.
+func driveOpen(ctx context.Context, cfg *Config, client *http.Client, url string, d time.Duration, col *collector, seed int64) error {
+	gen := newRequestGen(cfg, seed)
+	arrivalRNG := rand.New(rand.NewSource(seed + 15485863))
+	sem := make(chan struct{}, cfg.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for time.Since(start) < d && ctx.Err() == nil {
+		var gap time.Duration
+		if cfg.Arrival == Poisson {
+			gap = time.Duration(arrivalRNG.ExpFloat64() / cfg.Rate * float64(time.Second))
+		} else {
+			gap = time.Duration(float64(time.Second) / cfg.Rate)
+		}
+		select {
+		case <-time.After(gap):
+		case <-ctx.Done():
+		}
+		if time.Since(start) >= d || ctx.Err() != nil {
+			break
+		}
+		body, docs := gen.next()
+		select {
+		case sem <- struct{}{}:
+			// The generator's buffer is reused; the goroutine needs its
+			// own copy.
+			b := append([]byte(nil), body...)
+			wg.Add(1)
+			go func(b []byte, docs int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				lat, out := fire(client, url, b)
+				col.record(lat, out, docs)
+			}(b, docs)
+		default:
+			col.saturated()
+		}
+	}
+	wg.Wait()
+	return ctx.Err()
+}

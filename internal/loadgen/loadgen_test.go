@@ -1,0 +1,400 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"temporaldoc/internal/core"
+	"temporaldoc/internal/featsel"
+	"temporaldoc/internal/hsom"
+	"temporaldoc/internal/lgp"
+	"temporaldoc/internal/reuters"
+	"temporaldoc/internal/serve"
+	"temporaldoc/internal/telemetry"
+)
+
+// --- fixture: one tiny trained snapshot served in-process ---
+
+var (
+	fixOnce sync.Once
+	fixPath string
+	fixErr  error
+)
+
+func modelPath(t *testing.T) string {
+	t.Helper()
+	fixOnce.Do(func() {
+		gen := reuters.DefaultGenConfig()
+		gen.Scale = 0.008
+		gen.Seed = 11
+		c, err := reuters.GenerateCorpus(gen)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		gp := lgp.DefaultConfig()
+		gp.PopulationSize = 20
+		gp.Tournaments = 300
+		gp.MaxPages = 4
+		gp.MaxPageSize = 4
+		gp.DSS = &lgp.DSSConfig{SubsetSize: 20, Interval: 25}
+		m, err := core.Train(core.Config{
+			FeatureMethod: featsel.DF,
+			FeatureConfig: featsel.Config{GlobalN: 60, PerCategoryN: 25},
+			Encoder: hsom.Config{
+				CharWidth: 5, CharHeight: 5,
+				WordWidth: 4, WordHeight: 4,
+				CharEpochs: 2, WordEpochs: 3,
+				BMUFanout: 3,
+				Seed:      6,
+			},
+			GP:       gp,
+			Restarts: 1,
+			Seed:     5,
+		}, c)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "loadgen-fixture")
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fixPath = filepath.Join(dir, "model.json")
+		out, err := os.Create(fixPath)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		if err := m.Save(out); err != nil {
+			out.Close()
+			fixErr = err
+			return
+		}
+		fixErr = out.Close()
+	})
+	if fixErr != nil {
+		t.Fatalf("fixture: %v", fixErr)
+	}
+	return fixPath
+}
+
+// startServer boots a real serve.Server over the fixture model on an
+// httptest listener.
+func startServer(t *testing.T, mod func(*serve.Config)) string {
+	t.Helper()
+	cfg := serve.Config{
+		ModelPath:      modelPath(t),
+		Workers:        2,
+		QueueDepth:     32,
+		MaxBatch:       16,
+		MaxBodyBytes:   1 << 20,
+		RequestTimeout: 30 * time.Second,
+		Metrics:        telemetry.NewRegistry(),
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	t.Cleanup(s.Close)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return hs.URL
+}
+
+func TestRequestGenDeterministic(t *testing.T) {
+	cfg := Config{BaseURL: "http://x"}
+	if err := cfg.setDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	a, b := newRequestGen(&cfg, 42), newRequestGen(&cfg, 42)
+	other := newRequestGen(&cfg, 43)
+	differ := false
+	for i := 0; i < 50; i++ {
+		ba, da := a.next()
+		bb, db := b.next()
+		if !bytes.Equal(ba, bb) || da != db {
+			t.Fatalf("request %d: same seed produced different bodies", i)
+		}
+		bo, _ := other.next()
+		if !bytes.Equal(ba, bo) {
+			differ = true
+		}
+		var req struct {
+			Text      string `json:"text"`
+			Documents []struct {
+				Text string `json:"text"`
+			} `json:"documents"`
+		}
+		if err := json.Unmarshal(ba, &req); err != nil {
+			t.Fatalf("request %d not valid JSON: %v\n%s", i, err, ba)
+		}
+		words := len(bytes.Fields([]byte(req.Text)))
+		if da == 1 && (words < cfg.DocLen.Min || words > cfg.DocLen.Max) {
+			t.Errorf("request %d: %d words outside [%d,%d]", i, words, cfg.DocLen.Min, cfg.DocLen.Max)
+		}
+	}
+	if !differ {
+		t.Error("different seeds never produced a different stream")
+	}
+}
+
+func TestRequestGenBatchMix(t *testing.T) {
+	cfg := Config{
+		BaseURL:  "http://x",
+		BatchMix: []BatchWeight{{Size: 1, Weight: 0}, {Size: 3, Weight: 1}},
+	}
+	if err := cfg.setDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	g := newRequestGen(&cfg, 1)
+	for i := 0; i < 20; i++ {
+		body, docs := g.next()
+		if docs != 3 {
+			t.Fatalf("request %d: batch %d, want 3 (weight-0 size must never fire)", i, docs)
+		}
+		var req struct {
+			Documents []struct {
+				Text string `json:"text"`
+			} `json:"documents"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil || len(req.Documents) != 3 {
+			t.Fatalf("request %d: bad batch body (%v): %s", i, err, body)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{},                                    // missing BaseURL
+		{BaseURL: "http://x", Mode: "weird"},  // unknown mode
+		{BaseURL: "http://x", Mode: Open},     // open without rate
+		{BaseURL: "http://x", Arrival: "now"}, // unknown arrival
+		{BaseURL: "http://x", DocLen: LengthDist{Mean: 10, Min: 9, Max: 4}},
+		{BaseURL: "http://x", BatchMix: []BatchWeight{{Size: 0, Weight: 1}}},
+	}
+	for i, c := range cases {
+		if err := c.setDefaults(); err == nil {
+			t.Errorf("case %d: bad config %+v accepted", i, c)
+		}
+	}
+	good := Config{BaseURL: "http://x/"}
+	if err := good.setDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if good.BaseURL != "http://x" || good.Mode != Closed || good.Concurrency != 8 || good.Seed != 1 {
+		t.Errorf("defaults wrong: %+v", good)
+	}
+}
+
+func TestClassifyOutcome(t *testing.T) {
+	cases := []struct {
+		status int
+		err    error
+		want   outcome
+	}{
+		{200, nil, outcomeOK},
+		{400, nil, outcomeClientErr},
+		{413, nil, outcomeClientErr},
+		{503, nil, outcomeShed},
+		{504, nil, outcomeTimeout},
+		{500, nil, outcomeServerErr},
+		{0, context.DeadlineExceeded, outcomeTransport},
+	}
+	for _, tc := range cases {
+		if got := classify(tc.status, tc.err); got != tc.want {
+			t.Errorf("classify(%d, %v) = %v, want %v", tc.status, tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileExact(t *testing.T) {
+	if got := quantileExact(nil, 0.5); got != 0 {
+		t.Errorf("empty sample quantile = %v", got)
+	}
+	s := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.5, 3}, {1, 5}, {0.25, 2}, {0.75, 4},
+	}
+	for _, tc := range cases {
+		if got := quantileExact(s, tc.q); got != tc.want {
+			t.Errorf("q=%v: got %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// Interpolation between order statistics.
+	if got := quantileExact([]float64{1, 2}, 0.5); got != 1.5 {
+		t.Errorf("median of {1,2} = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramWindowDiff(t *testing.T) {
+	pre := telemetry.HistogramSnapshot{
+		Count: 3, Sum: 5, Bounds: []float64{1, 2}, Counts: []int64{1, 1, 1},
+	}
+	post := telemetry.HistogramSnapshot{
+		Count: 10, Sum: 20, Bounds: []float64{1, 2}, Counts: []int64{4, 3, 3},
+	}
+	d := post.Sub(pre)
+	if d.Count != 7 || d.Sum != 15 {
+		t.Errorf("diff totals: %+v", d)
+	}
+	for i, want := range []int64{3, 2, 2} {
+		if d.Counts[i] != want {
+			t.Errorf("diff bucket %d = %d, want %d", i, d.Counts[i], want)
+		}
+	}
+	// Mismatched shapes (server restart) fall back to the post snapshot.
+	if d := post.Sub(telemetry.HistogramSnapshot{}); d.Count != post.Count {
+		t.Errorf("mismatched diff = %+v, want post snapshot", d)
+	}
+}
+
+// TestLoadgenSoak is the closed-loop soak the Makefile target wraps: a
+// short run against the real in-process server must finish with zero
+// 5xx, matching client/server counts and agreeing percentiles.
+func TestLoadgenSoak(t *testing.T) {
+	base := startServer(t, nil)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     base,
+		Mode:        Closed,
+		Concurrency: 4,
+		Warmup:      200 * time.Millisecond,
+		Duration:    time.Second,
+		DocLen:      LengthDist{Mean: 30, Stddev: 10, Min: 5, Max: 80},
+		BatchMix:    []BatchWeight{{Size: 1, Weight: 3}, {Size: 4, Weight: 1}},
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.Requests
+	if r.Sent == 0 || r.OK == 0 {
+		t.Fatalf("soak sent nothing: %+v", r)
+	}
+	if r.ClientError+r.ServerError+r.Shed+r.Timeout+r.Transport != 0 {
+		t.Fatalf("soak saw errors: %+v", r)
+	}
+	if rep.AchievedRPS <= 0 || rep.GoodputRPS <= 0 || rep.DocsPS <= 0 {
+		t.Errorf("throughput not positive: %+v", rep)
+	}
+	if rep.Latency.Count != r.Sent || rep.Latency.P50MS <= 0 {
+		t.Errorf("latency summary wrong: %+v", rep.Latency)
+	}
+	if rep.Latency.P50MS > rep.Latency.P95MS || rep.Latency.P95MS > rep.Latency.P99MS ||
+		rep.Latency.P99MS > rep.Latency.MaxMS {
+		t.Errorf("client percentiles not monotone: %+v", rep.Latency)
+	}
+	ss := rep.Server
+	if ss == nil || ss.Error != "" {
+		t.Fatalf("server cross-check missing: %+v", ss)
+	}
+	if !ss.CountsAgree {
+		t.Errorf("counts disagree: server delta %d vs client %d (diff %d)",
+			ss.RequestsDelta, r.Sent, ss.CountsDiff)
+	}
+	if ss.OKDelta != r.OK {
+		t.Errorf("ok delta %d, want %d", ss.OKDelta, r.OK)
+	}
+	if !ss.PercentilesAgree {
+		// The race detector slows the instrumented client HTTP stack far
+		// more than the handler-clocked server window, so the two views
+		// legitimately diverge under -race; the verdict stays strict in
+		// normal runs and in bench-serve.
+		if raceEnabled {
+			t.Logf("percentiles disagree under -race (expected skew): client p50 %.3fms p99 %.3fms vs server p50 %.3fms p99 %.3fms",
+				rep.Latency.P50MS, rep.Latency.P99MS, ss.WindowLatency.P50MS, ss.WindowLatency.P99MS)
+		} else {
+			t.Errorf("percentiles disagree: client p50 %.3fms p99 %.3fms vs server p50 %.3fms p99 %.3fms",
+				rep.Latency.P50MS, rep.Latency.P99MS, ss.WindowLatency.P50MS, ss.WindowLatency.P99MS)
+		}
+	}
+	if ss.WindowLatency.Count != r.Sent {
+		t.Errorf("server window count %d, want %d", ss.WindowLatency.Count, r.Sent)
+	}
+	for _, stage := range []string{"decode", "queue", "classify", "write"} {
+		if ss.WindowStages[stage].Count != r.Sent {
+			t.Errorf("stage %s window count %d, want %d", stage, ss.WindowStages[stage].Count, r.Sent)
+		}
+	}
+	// The report must round-trip as JSON (it is the benchmark artifact).
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+}
+
+// TestLoadgenOpenLoop drives the open loop at a modest Poisson rate: the
+// achieved rate must be in the configured ballpark and the cross-check
+// must hold there too.
+func TestLoadgenOpenLoop(t *testing.T) {
+	base := startServer(t, nil)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  base,
+		Mode:     Open,
+		Rate:     50,
+		Arrival:  Poisson,
+		Warmup:   200 * time.Millisecond,
+		Duration: time.Second,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests.Sent == 0 {
+		t.Fatal("open loop sent nothing")
+	}
+	if rep.Requests.Shed+rep.Requests.Timeout+rep.Requests.ServerError+rep.Requests.Transport != 0 {
+		t.Fatalf("open loop saw errors: %+v", rep.Requests)
+	}
+	// Poisson arrivals at 50/s over ~1s: demand at least a loose lower
+	// bound — a starved arrival clock would land way under.
+	if rep.AchievedRPS < 15 {
+		t.Errorf("achieved %.1f rps at offered 50", rep.AchievedRPS)
+	}
+	if rep.Server == nil || !rep.Server.CountsAgree {
+		t.Errorf("open-loop cross-check failed: %+v", rep.Server)
+	}
+}
+
+// TestLoadgenServerlessStatz: when statz is unreachable the run still
+// returns its client-side report with the error recorded.
+func TestLoadgenNoStatz(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/classify", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"model_hash":"x","results":[{"categories":[]}]}`))
+	})
+	hs := httptest.NewServer(mux)
+	defer hs.Close()
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     hs.URL,
+		Concurrency: 2,
+		Warmup:      50 * time.Millisecond,
+		Duration:    200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests.OK == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Server == nil || rep.Server.Error == "" {
+		t.Errorf("missing statz should be reported in Server.Error: %+v", rep.Server)
+	}
+}

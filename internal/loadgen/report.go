@@ -1,0 +1,355 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"temporaldoc/internal/serve"
+	"temporaldoc/internal/telemetry"
+)
+
+// collector accumulates per-request results from concurrent workers.
+// One mutex is plenty: the serving stack's per-request work is orders
+// of magnitude above a lock-append, so the collector never shows up in
+// the measurement.
+type collector struct {
+	keep      bool // warmup collectors drive load but discard samples
+	mu        sync.Mutex
+	lats      []float64 // seconds, all completed requests (any HTTP status)
+	byOutcome [numOutcomes]int64
+	docsOK    int64 // documents inside 2xx responses
+	sat       int64 // open-loop arrivals dropped at the in-flight cap
+}
+
+func newCollector(keep bool) *collector { return &collector{keep: keep} }
+
+func (c *collector) record(lat time.Duration, out outcome, docs int) {
+	if !c.keep {
+		return
+	}
+	c.mu.Lock()
+	c.byOutcome[out]++
+	if out != outcomeTransport {
+		c.lats = append(c.lats, lat.Seconds())
+	}
+	if out == outcomeOK {
+		c.docsOK += int64(docs)
+	}
+	c.mu.Unlock()
+}
+
+func (c *collector) saturated() {
+	if !c.keep {
+		return
+	}
+	c.mu.Lock()
+	c.sat++
+	c.mu.Unlock()
+}
+
+// quantileExact is the order-statistic quantile of a sorted sample with
+// linear interpolation between neighbours — the client side's exact
+// counterpart to the server's bucket-interpolated estimate.
+func quantileExact(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[i] + (sorted[i+1]-sorted[i])*frac
+}
+
+// LatencySummary is one side's latency distribution in milliseconds.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// RequestCounts is the client-side error-class accounting of the
+// measurement window. Sent = every request that got an HTTP response;
+// Transport errors got none; Saturated open-loop arrivals were never
+// sent (the in-flight cap was full).
+type RequestCounts struct {
+	Sent        int64 `json:"sent"`
+	OK          int64 `json:"ok"`
+	ClientError int64 `json:"client_error"`
+	Shed        int64 `json:"shed"`
+	Timeout     int64 `json:"timeout"`
+	ServerError int64 `json:"server_error"`
+	Transport   int64 `json:"transport_error"`
+	Saturated   int64 `json:"saturated,omitempty"`
+}
+
+// ServerSide is the /v1/statz cross-check block of a Report. The
+// pre/post snapshots bracket the measurement window with all requests
+// drained, so the deltas cover exactly the client's requests; Window*
+// percentiles come from subtracting the pre histogram buckets from the
+// post ones and running the same interpolated-quantile estimator statz
+// itself uses.
+type ServerSide struct {
+	// Error is set (and everything else zero) when statz could not be
+	// fetched — the run still reports its client-side half.
+	Error string `json:"error,omitempty"`
+
+	ModelHash string `json:"model_hash,omitempty"`
+	// RequestsDelta etc. are post-minus-pre statz counters.
+	RequestsDelta int64 `json:"requests_delta"`
+	OKDelta       int64 `json:"ok_delta"`
+	ShedDelta     int64 `json:"shed_delta"`
+	TimeoutDelta  int64 `json:"timeout_delta"`
+	DocsDelta     int64 `json:"docs_delta"`
+
+	// WindowLatency is the server-side end-to-end handler latency over
+	// the measurement window (bucket-diffed http.classify.seconds).
+	WindowLatency LatencySummary `json:"window_latency"`
+	// WindowStages is the same diff for each pipeline stage.
+	WindowStages map[string]LatencySummary `json:"window_stages"`
+
+	// CountsAgree: server-side request delta matches client Sent within
+	// the transport-error tolerance (a client-aborted request may or may
+	// not have completed server-side).
+	CountsAgree bool  `json:"counts_agree"`
+	CountsDiff  int64 `json:"counts_diff"`
+	// PercentilesAgree: client and server p50/p99 within tolerance
+	// (factor 2 or 5ms absolute — the server histogram's bucket
+	// resolution plus client-side network and scheduling overhead).
+	PercentilesAgree bool    `json:"percentiles_agree"`
+	P50RatioClient   float64 `json:"p50_ratio_client_over_server"`
+	P99RatioClient   float64 `json:"p99_ratio_client_over_server"`
+}
+
+// Report is the JSON document a loadgen run produces.
+type Report struct {
+	// Run parameters, echoed for reproducibility.
+	Mode        Mode          `json:"mode"`
+	Concurrency int           `json:"concurrency"`
+	RateRPS     float64       `json:"rate_rps,omitempty"`
+	Arrival     Arrival       `json:"arrival,omitempty"`
+	Seed        int64         `json:"seed"`
+	WarmupMS    int64         `json:"warmup_ms"`
+	DurationMS  int64         `json:"duration_ms"`
+	DocLen      LengthDist    `json:"doc_len"`
+	BatchMix    []BatchWeight `json:"batch_mix"`
+
+	// ElapsedMS is the measurement wall time including the final drain.
+	ElapsedMS float64       `json:"elapsed_ms"`
+	Requests  RequestCounts `json:"requests"`
+	// AchievedRPS counts completed requests (any status) per elapsed
+	// second; GoodputRPS counts only 2xx.
+	AchievedRPS float64 `json:"achieved_rps"`
+	GoodputRPS  float64 `json:"goodput_rps"`
+	DocsPS      float64 `json:"docs_per_second"`
+	ShedRate    float64 `json:"shed_rate"`
+	TimeoutRate float64 `json:"timeout_rate"`
+
+	// Latency is client-side, over all completed requests.
+	Latency LatencySummary `json:"latency"`
+
+	Server *ServerSide `json:"server,omitempty"`
+}
+
+// buildReport renders the collector into the client-side half.
+func buildReport(cfg *Config, col *collector, elapsed time.Duration) *Report {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	rep := &Report{
+		Mode:        cfg.Mode,
+		Concurrency: cfg.Concurrency,
+		Seed:        cfg.Seed,
+		WarmupMS:    cfg.Warmup.Milliseconds(),
+		DurationMS:  cfg.Duration.Milliseconds(),
+		DocLen:      cfg.DocLen,
+		BatchMix:    cfg.BatchMix,
+		ElapsedMS:   float64(elapsed) / float64(time.Millisecond),
+	}
+	if cfg.Mode == Open {
+		rep.RateRPS = cfg.Rate
+		rep.Arrival = cfg.Arrival
+	}
+	rep.Requests = RequestCounts{
+		OK:          col.byOutcome[outcomeOK],
+		ClientError: col.byOutcome[outcomeClientErr],
+		Shed:        col.byOutcome[outcomeShed],
+		Timeout:     col.byOutcome[outcomeTimeout],
+		ServerError: col.byOutcome[outcomeServerErr],
+		Transport:   col.byOutcome[outcomeTransport],
+		Saturated:   col.sat,
+	}
+	rep.Requests.Sent = rep.Requests.OK + rep.Requests.ClientError + rep.Requests.Shed +
+		rep.Requests.Timeout + rep.Requests.ServerError + rep.Requests.Transport
+
+	sort.Float64s(col.lats)
+	rep.Latency = summarizeExact(col.lats)
+	sec := elapsed.Seconds()
+	if sec > 0 {
+		rep.AchievedRPS = float64(len(col.lats)) / sec
+		rep.GoodputRPS = float64(rep.Requests.OK) / sec
+		rep.DocsPS = float64(col.docsOK) / sec
+	}
+	if rep.Requests.Sent > 0 {
+		rep.ShedRate = float64(rep.Requests.Shed) / float64(rep.Requests.Sent)
+		rep.TimeoutRate = float64(rep.Requests.Timeout) / float64(rep.Requests.Sent)
+	}
+	return rep
+}
+
+func summarizeExact(sorted []float64) LatencySummary {
+	const msPerSec = 1e3
+	s := LatencySummary{Count: int64(len(sorted))}
+	if len(sorted) == 0 {
+		return s
+	}
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	s.MeanMS = sum / float64(len(sorted)) * msPerSec
+	s.P50MS = quantileExact(sorted, 0.50) * msPerSec
+	s.P90MS = quantileExact(sorted, 0.90) * msPerSec
+	s.P95MS = quantileExact(sorted, 0.95) * msPerSec
+	s.P99MS = quantileExact(sorted, 0.99) * msPerSec
+	s.MaxMS = sorted[len(sorted)-1] * msPerSec
+	return s
+}
+
+func summarizeHist(h telemetry.HistogramSnapshot) LatencySummary {
+	const msPerSec = 1e3
+	qs := h.Quantiles(0.50, 0.90, 0.95, 0.99)
+	return LatencySummary{
+		Count:  h.Count,
+		MeanMS: h.Mean() * msPerSec,
+		P50MS:  qs[0] * msPerSec,
+		P90MS:  qs[1] * msPerSec,
+		P95MS:  qs[2] * msPerSec,
+		P99MS:  qs[3] * msPerSec,
+		// A histogram has no exact max; the p99 is the last defensible
+		// tail figure, so MaxMS stays 0 server-side.
+	}
+}
+
+// serverState is one pre- or post-run observation of the server: the
+// statz document plus the raw histograms from /v1/modelz (statz only
+// carries rendered percentiles; the cross-check needs buckets to diff).
+type serverState struct {
+	statz serve.StatzResponse
+	hists map[string]telemetry.HistogramSnapshot
+}
+
+func fetchServerState(client *http.Client, base string) (*serverState, error) {
+	st := &serverState{}
+	if err := getJSON(client, base+"/v1/statz", &st.statz); err != nil {
+		return nil, err
+	}
+	var mz struct {
+		Metrics struct {
+			Histograms map[string]telemetry.HistogramSnapshot `json:"histograms"`
+		} `json:"metrics"`
+	}
+	if err := getJSON(client, base+"/v1/modelz", &mz); err != nil {
+		return nil, err
+	}
+	st.hists = mz.Metrics.Histograms
+	return st, nil
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	// Read path: a Close error cannot lose data we already decoded.
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// crossCheck builds the ServerSide block: statz deltas over the
+// measurement window, window percentiles from bucket diffs, and the two
+// agreement verdicts the smoke targets assert on.
+func crossCheck(pre, post *serverState, rep *Report) *ServerSide {
+	ss := &ServerSide{
+		ModelHash:     post.statz.ModelHash,
+		RequestsDelta: post.statz.Requests.Total - pre.statz.Requests.Total,
+		OKDelta:       post.statz.Requests.OK - pre.statz.Requests.OK,
+		ShedDelta:     post.statz.Requests.Shed - pre.statz.Requests.Shed,
+		TimeoutDelta:  post.statz.Requests.Timeout - pre.statz.Requests.Timeout,
+		DocsDelta:     post.statz.DocsClassified - pre.statz.DocsClassified,
+		WindowStages:  map[string]LatencySummary{},
+	}
+	window := post.hists["http.classify.seconds"].Sub(pre.hists["http.classify.seconds"])
+	ss.WindowLatency = summarizeHist(window)
+	for _, stage := range []string{"decode", "queue", "classify", "write"} {
+		name := "serve.stage." + stage + ".seconds"
+		ss.WindowStages[stage] = summarizeHist(post.hists[name].Sub(pre.hists[name]))
+	}
+
+	// Counts: both phases drain before the snapshots, so the server must
+	// have seen exactly the requests the client completed — except ones
+	// the client aborted at the transport layer, which may or may not
+	// have reached (or finished in) the handler.
+	ss.CountsDiff = ss.RequestsDelta - (rep.Requests.Sent - rep.Requests.Transport)
+	tol := rep.Requests.Transport
+	ss.CountsAgree = ss.CountsDiff >= 0 && ss.CountsDiff <= tol
+
+	// Percentiles: client latency = server handler latency + network and
+	// client scheduling, measured with exact order statistics against a
+	// bucketed estimate. Agreement = each of p50/p99 within a factor of
+	// 2 or 5ms absolute, whichever is looser.
+	ss.P50RatioClient = ratio(rep.Latency.P50MS, ss.WindowLatency.P50MS)
+	ss.P99RatioClient = ratio(rep.Latency.P99MS, ss.WindowLatency.P99MS)
+	ss.PercentilesAgree = window.Count > 0 && rep.Latency.Count > 0 &&
+		close2(rep.Latency.P50MS, ss.WindowLatency.P50MS) &&
+		close2(rep.Latency.P99MS, ss.WindowLatency.P99MS)
+	return ss
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// close2 is the percentile tolerance: within a factor of 2 either way,
+// or within 5ms absolute (sub-bucket-resolution noise at the fast end).
+func close2(clientMS, serverMS float64) bool {
+	if math.Abs(clientMS-serverMS) <= 5 {
+		return true
+	}
+	r := ratio(clientMS, serverMS)
+	return r >= 0.5 && r <= 2
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -105,6 +105,9 @@ func between(s, open, close string) (string, bool) {
 }
 
 // parseDList extracts the <D>...</D> entries of a TOPICS block.
+// Malformed entries that still contain markup (an unclosed tag shifts
+// the </D> match, e.g. <D>></D>) are dropped rather than surfaced as
+// bogus topic names; real Reuters topics are bare lowercase words.
 func parseDList(block string) []string {
 	var out []string
 	for {
@@ -112,7 +115,9 @@ func parseDList(block string) []string {
 		if !ok {
 			return out
 		}
-		out = append(out, strings.TrimSpace(entry))
+		if t := strings.TrimSpace(entry); t != "" && !strings.ContainsAny(t, "<>") {
+			out = append(out, t)
+		}
 		block = block[strings.Index(block, "</D>")+len("</D>"):]
 	}
 }

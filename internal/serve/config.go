@@ -53,6 +53,14 @@ type Config struct {
 	// every loaded model so scoring telemetry keeps flowing across
 	// reloads. A nil registry costs nothing.
 	Metrics *telemetry.Registry
+	// Trace, when non-nil, receives one JSONL RequestTraceRecord per
+	// sampled request (stage durations, request id, batch size, model
+	// hash, status). Sampling is off unless TraceSampleEvery is also
+	// set; the unsampled request path allocates nothing.
+	Trace *telemetry.EventWriter
+	// TraceSampleEvery samples every Nth classify request into Trace.
+	// 0 (the default) disables request tracing entirely.
+	TraceSampleEvery int
 	// Log receives structured serving events. Nil discards them.
 	Log *slog.Logger
 }
@@ -84,6 +92,9 @@ func (c *Config) setDefaults() error {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.TraceSampleEvery < 0 {
+		return fmt.Errorf("serve: TraceSampleEvery must be >= 0, got %d", c.TraceSampleEvery)
 	}
 	if c.Log == nil {
 		c.Log = slog.New(discardHandler{})

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"temporaldoc/internal/corpus"
+	"temporaldoc/internal/telemetry"
 )
 
 // ClassifyDocument is one document of a classify request.
@@ -110,12 +111,21 @@ func (s *Server) tokenize(in []ClassifyDocument) []corpus.Document {
 	return docs
 }
 
-// handleClassify is POST /v1/classify.
+// handleClassify is POST /v1/classify. The stage trace splits the
+// request into decode (parse + tokenise, measured here), queue-wait and
+// classify (measured by the worker, copied off the job after done
+// closes), and write (response render + encode). Every exit path
+// finishes the trace with the status it answered, so sampled JSONL
+// records cover sheds and timeouts too — exactly the requests a loadgen
+// run needs to explain.
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	tr := s.stages.Begin()
+	reqID := RequestIDFrom(r.Context())
+	decodeStart := time.Now()
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	req, reqDocs, err := decodeClassifyRequest(body, s.cfg.MaxBatch)
 	if err != nil {
@@ -123,18 +133,22 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("body exceeds %d bytes", tooBig.Limit))
+			tr.Finish(reqID, 0, "", http.StatusRequestEntityTooLarge)
 			return
 		}
 		writeError(w, http.StatusBadRequest, err.Error())
+		tr.Finish(reqID, 0, "", http.StatusBadRequest)
 		return
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	j := &job{ctx: ctx, docs: s.tokenize(reqDocs), done: make(chan struct{})}
+	tr.Observe(telemetry.StageDecode, time.Since(decodeStart))
 	if err := s.pool.submit(j); err != nil {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
 		writeError(w, http.StatusServiceUnavailable, err.Error())
+		tr.Finish(reqID, len(reqDocs), "", http.StatusServiceUnavailable)
 		return
 	}
 
@@ -146,18 +160,27 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		// next per-document check.
 		s.met.timeouts.Inc()
 		writeError(w, http.StatusGatewayTimeout, "classification timed out")
+		tr.Finish(reqID, len(reqDocs), "", http.StatusGatewayTimeout)
 		return
 	}
+	// done is closed: the job's fields are ours again. The worker
+	// already observed queue-wait and classify into the stage
+	// histograms; Record only copies them into this trace's record.
+	tr.Record(telemetry.StageQueue, j.queueWait)
+	tr.Record(telemetry.StageClassify, j.classifyDur)
 	if j.err != nil {
 		if errors.Is(j.err, context.DeadlineExceeded) || errors.Is(j.err, context.Canceled) {
 			s.met.timeouts.Inc()
 			writeError(w, http.StatusGatewayTimeout, "classification timed out")
+			tr.Finish(reqID, len(reqDocs), "", http.StatusGatewayTimeout)
 			return
 		}
 		writeError(w, http.StatusInternalServerError, j.err.Error())
+		tr.Finish(reqID, len(reqDocs), "", http.StatusInternalServerError)
 		return
 	}
 
+	writeStart := time.Now()
 	resp := ClassifyResponse{
 		ModelHash: j.snap.Info.SHA256,
 		Results:   make([]DocResult, len(j.results)),
@@ -178,6 +201,8 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i] = res
 	}
 	writeJSON(w, http.StatusOK, resp)
+	tr.Observe(telemetry.StageWrite, time.Since(writeStart))
+	tr.Finish(reqID, len(reqDocs), j.snap.Info.SHA256, http.StatusOK)
 }
 
 // HealthResponse is the GET /v1/healthz reply.

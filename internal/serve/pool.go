@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"time"
 
 	"sync"
 
@@ -16,17 +17,25 @@ import (
 var ErrQueueFull = errors.New("serve: classification queue full")
 
 // job is one enqueued classification unit. The worker fills snap,
-// results and err, then closes done; the handler reads them only after
-// done is closed (or abandons the job entirely on timeout), so the two
-// goroutines never touch the same field concurrently.
+// results, err and the stage durations, then closes done; the handler
+// reads them only after done is closed (or abandons the job entirely on
+// timeout), so the two goroutines never touch the same field
+// concurrently.
 type job struct {
 	ctx  context.Context
 	docs []corpus.Document
+	// enqueued is stamped by submit; the worker turns it into the
+	// queue-wait stage duration on dequeue.
+	enqueued time.Time
 
 	snap    *ModelSnapshot
 	results [][]core.Prediction
 	err     error
 	done    chan struct{}
+	// queueWait and classifyDur are the worker-measured stage durations,
+	// copied into the handler's request trace after done closes.
+	queueWait   time.Duration
+	classifyDur time.Duration
 }
 
 // pool is the bounded worker pool classification runs on. A fixed
@@ -37,6 +46,7 @@ type pool struct {
 	handle *Handle
 	queue  chan *job
 	wg     sync.WaitGroup
+	stages *telemetry.StageRecorder
 
 	depth    *telemetry.Gauge
 	rejected *telemetry.Counter
@@ -44,10 +54,11 @@ type pool struct {
 	docs     *telemetry.Counter
 }
 
-func newPool(workers, depth int, handle *Handle, reg *telemetry.Registry) *pool {
+func newPool(workers, depth int, handle *Handle, reg *telemetry.Registry, stages *telemetry.StageRecorder) *pool {
 	p := &pool{
 		handle:   handle,
 		queue:    make(chan *job, depth),
+		stages:   stages,
 		depth:    reg.Gauge("serve.queue.depth"),
 		rejected: reg.Counter("serve.queue.rejected"),
 		jobs:     reg.Counter("serve.jobs"),
@@ -63,6 +74,8 @@ func newPool(workers, depth int, handle *Handle, reg *telemetry.Registry) *pool 
 // submit enqueues a job without blocking; ErrQueueFull means the
 // caller should shed the request.
 func (p *pool) submit(j *job) error {
+	//lint:ignore determinism queue-wait telemetry: the stamp only ever feeds time.Since in the worker, never model state
+	j.enqueued = time.Now()
 	select {
 	case p.queue <- j:
 		p.depth.Set(float64(len(p.queue)))
@@ -83,7 +96,15 @@ func (p *pool) worker() {
 	defer p.wg.Done()
 	for j := range p.queue {
 		p.depth.Set(float64(len(p.queue)))
+		// Queue wait is measured here, not in the handler: the handler
+		// may have stopped listening (504) while the job still holds a
+		// queue slot, and the wait ends only when a worker picks it up.
+		j.queueWait = time.Since(j.enqueued)
+		p.stages.Observe(telemetry.StageQueue, j.queueWait)
+		start := time.Now()
 		p.run(j)
+		j.classifyDur = time.Since(start)
+		p.stages.Observe(telemetry.StageClassify, j.classifyDur)
 		close(j.done)
 	}
 }

@@ -22,11 +22,20 @@
 //	POST /v1/classify  single {"text": ...} or batch {"documents": [...]}
 //	GET  /v1/healthz   liveness plus the serving model hash
 //	GET  /v1/modelz    model identity and a telemetry snapshot
+//	GET  /v1/statz     per-stage latency percentiles, throughput, error rates
 //	POST /v1/reload    re-read the snapshot file and swap it in
+//
+// Every request carries an id (client-supplied X-Request-ID or
+// generated), echoed on the response; a stage recorder splits each
+// classify request into decode → queue-wait → classify → write and can
+// sample requests into a JSONL trace (Config.Trace). /v1/statz turns
+// the stage histograms into interpolated p50/p90/p95/p99 — the
+// server-side half of the `tdc loadgen` benchmark harness.
 package serve
 
 import (
 	"net/http"
+	"time"
 
 	"temporaldoc/internal/hsom"
 	"temporaldoc/internal/telemetry"
@@ -36,17 +45,22 @@ import (
 // Server is one classification service instance. Create with New,
 // mount via Handler, stop with Close.
 type Server struct {
-	cfg    Config
-	handle *Handle
-	pool   *pool
-	pre    *textproc.Preprocessor
-	mux    *http.ServeMux
-	met    serverMetrics
+	cfg     Config
+	handle  *Handle
+	pool    *pool
+	pre     *textproc.Preprocessor
+	mux     *http.ServeMux
+	handler http.Handler
+	stages  *telemetry.StageRecorder
+	met     serverMetrics
+	// started anchors /v1/statz uptime and throughput; reporting only.
+	started time.Time
 }
 
 // serverMetrics holds the pre-resolved handles of the request path.
 type serverMetrics struct {
 	timeouts *telemetry.Counter
+	panics   *telemetry.Counter
 }
 
 // New loads the model snapshot and assembles a ready-to-serve Server.
@@ -58,26 +72,41 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	stages := telemetry.NewStageRecorder(cfg.Metrics, "serve.stage", cfg.Trace, cfg.TraceSampleEvery)
 	s := &Server{
 		cfg:    cfg,
 		handle: handle,
-		pool:   newPool(cfg.Workers, cfg.QueueDepth, handle, cfg.Metrics),
+		pool:   newPool(cfg.Workers, cfg.QueueDepth, handle, cfg.Metrics, stages),
 		pre:    textproc.NewPreprocessor(textproc.Options{}),
-		met:    serverMetrics{timeouts: cfg.Metrics.Counter("serve.timeouts")},
+		stages: stages,
+		met: serverMetrics{
+			timeouts: cfg.Metrics.Counter("serve.timeouts"),
+			panics:   cfg.Metrics.Counter("serve.panics"),
+		},
 	}
+	//lint:ignore determinism serving metadata: the start stamp only feeds /v1/statz uptime, never model state
+	s.started = time.Now()
 	s.mux = http.NewServeMux()
-	s.mux.Handle("/v1/classify", cfg.Metrics.InstrumentHandler("classify", http.HandlerFunc(s.handleClassify)))
-	s.mux.Handle("/v1/healthz", cfg.Metrics.InstrumentHandler("healthz", http.HandlerFunc(s.handleHealthz)))
-	s.mux.Handle("/v1/modelz", cfg.Metrics.InstrumentHandler("modelz", http.HandlerFunc(s.handleModelz)))
-	s.mux.Handle("/v1/reload", cfg.Metrics.InstrumentHandler("reload", http.HandlerFunc(s.handleReload)))
+	// recoverPanics sits inside InstrumentHandler so a recovered 500
+	// still lands in the per-route status counters and latency histogram.
+	mount := func(route string, h http.HandlerFunc) http.Handler {
+		return cfg.Metrics.InstrumentHandler(route, s.recoverPanics(h))
+	}
+	s.mux.Handle("/v1/classify", mount("classify", s.handleClassify))
+	s.mux.Handle("/v1/healthz", mount("healthz", s.handleHealthz))
+	s.mux.Handle("/v1/modelz", mount("modelz", s.handleModelz))
+	s.mux.Handle("/v1/statz", mount("statz", s.handleStatz))
+	s.mux.Handle("/v1/reload", mount("reload", s.handleReload))
+	s.handler = withRequestID(s.mux)
 	info := handle.Current().Info
 	cfg.Log.Info("model loaded", "path", info.Path, "sha256", info.SHA256, "bytes", info.Bytes,
 		"workers", cfg.Workers, "queue", cfg.QueueDepth)
 	return s, nil
 }
 
-// Handler returns the server's HTTP handler (all /v1/ endpoints).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler (all /v1/ endpoints,
+// wrapped in the request-id middleware).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Current returns the model snapshot serving right now.
 func (s *Server) Current() *ModelSnapshot { return s.handle.Current() }

@@ -333,7 +333,7 @@ func TestServeQueueFull503(t *testing.T) {
 	// Replace the pool with a worker-less one: submissions stay queued
 	// forever, so the queue fills deterministically.
 	s.pool.close()
-	s.pool = newPool(0, 1, s.handle, s.cfg.Metrics)
+	s.pool = newPool(0, 1, s.handle, s.cfg.Metrics, s.stages)
 	hs := httptest.NewServer(s.Handler())
 	defer hs.Close()
 

@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"temporaldoc/internal/telemetry"
+)
+
+func getStatz(t *testing.T, base string) StatzResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statz status %d", resp.StatusCode)
+	}
+	var sz StatzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sz); err != nil {
+		t.Fatal(err)
+	}
+	return sz
+}
+
+func TestStatzCountsAndStages(t *testing.T) {
+	f := getFixture(t)
+	s := newTestServer(t, f.pathA, nil)
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	const n = 6
+	body := fmt.Sprintf(`{"text":%q}`, docText(&f.corpus.Test[0]))
+	for i := 0; i < n; i++ {
+		resp, b := postJSON(t, hs.URL+"/v1/classify", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("classify %d: status %d: %s", i, resp.StatusCode, b)
+		}
+	}
+	// One malformed request for the 4xx bucket.
+	if resp, _ := postJSON(t, hs.URL+"/v1/classify", `{`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed classify: status %d", resp.StatusCode)
+	}
+
+	sz := getStatz(t, hs.URL)
+	if sz.ModelHash != f.hashA {
+		t.Errorf("statz model_hash = %q, want %q", sz.ModelHash, f.hashA)
+	}
+	if sz.UptimeSeconds <= 0 {
+		t.Errorf("uptime_seconds = %v, want > 0", sz.UptimeSeconds)
+	}
+	if sz.Requests.Total != n+1 {
+		t.Errorf("requests.total = %d, want %d", sz.Requests.Total, n+1)
+	}
+	if sz.Requests.OK != n {
+		t.Errorf("requests.ok = %d, want %d", sz.Requests.OK, n)
+	}
+	if sz.Requests.ClientError != 1 {
+		t.Errorf("requests.client_error = %d, want 1", sz.Requests.ClientError)
+	}
+	if sz.Requests.Shed != 0 || sz.Requests.Timeout != 0 || sz.Requests.Panics != 0 {
+		t.Errorf("unexpected error accounting: %+v", sz.Requests)
+	}
+	if sz.DocsClassified != n {
+		t.Errorf("docs_classified = %d, want %d", sz.DocsClassified, n)
+	}
+	if sz.RequestThroughput <= 0 || sz.DocThroughput <= 0 {
+		t.Errorf("throughput not positive: %v rps / %v dps", sz.RequestThroughput, sz.DocThroughput)
+	}
+	if sz.Latency.Count != int64(n+1) {
+		t.Errorf("latency.count = %d, want %d", sz.Latency.Count, n+1)
+	}
+	// Stage histograms: decode counts every parsed request (including
+	// the failed parse), queue/classify only successfully scored jobs.
+	for _, stage := range []string{"decode", "queue", "classify", "write"} {
+		st, ok := sz.Stages[stage]
+		if !ok {
+			t.Fatalf("stage %q missing from statz: %+v", stage, sz.Stages)
+		}
+		if stage == "decode" {
+			continue // counted on the failure path too, asserted below
+		}
+		if st.Count != n {
+			t.Errorf("stage %s count = %d, want %d", stage, st.Count, n)
+		}
+		if st.P50US > st.P95US || st.P95US > st.P99US {
+			t.Errorf("stage %s percentiles not monotone: %+v", stage, st)
+		}
+	}
+	if got := sz.Stages["decode"].Count; got != n {
+		t.Errorf("decode count = %d, want %d (failed parses do not reach the decode mark)", got, n)
+	}
+	// End-to-end latency contains the classify stage, so its tail must
+	// dominate the classify median (p50-vs-p50 could flip by one bucket
+	// because the fast 400 request lands in latency but not classify).
+	if sz.Latency.P99US < sz.Stages["classify"].P50US {
+		t.Errorf("end-to-end p99 %vus < classify stage p50 %vus", sz.Latency.P99US, sz.Stages["classify"].P50US)
+	}
+
+	if resp, _ := postJSON(t, hs.URL+"/v1/statz", ""); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/statz status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestStatzNilRegistry(t *testing.T) {
+	f := getFixture(t)
+	s := newTestServer(t, f.pathA, func(c *Config) { c.Metrics = nil })
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	sz := getStatz(t, hs.URL)
+	if sz.ModelHash != f.hashA || sz.UptimeSeconds <= 0 {
+		t.Errorf("nil-registry statz identity wrong: %+v", sz)
+	}
+	if sz.Requests.Total != 0 || sz.Latency.Count != 0 {
+		t.Errorf("nil-registry statz should be all-zero counts: %+v", sz)
+	}
+}
+
+func TestRequestIDEchoAndGeneration(t *testing.T) {
+	f := getFixture(t)
+	s := newTestServer(t, f.pathA, nil)
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	body := fmt.Sprintf(`{"text":%q}`, docText(&f.corpus.Test[0]))
+	req, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/classify", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(RequestIDHeader, "client-chose-this")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); got != "client-chose-this" {
+		t.Errorf("client id not echoed: %q", got)
+	}
+
+	// Without a client id the server generates distinct ones.
+	seen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(hs.URL+"/v1/healthz", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		id := resp.Header.Get(RequestIDHeader)
+		if id == "" || seen[id] {
+			t.Fatalf("generated id %q empty or repeated", id)
+		}
+		seen[id] = true
+	}
+
+	// Oversized client ids are truncated, not rejected.
+	req, err = http.NewRequest(http.MethodPost, hs.URL+"/v1/classify", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(RequestIDHeader, strings.Repeat("x", 4096))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); len(got) != maxRequestIDLen {
+		t.Errorf("oversized id echoed at %d chars, want truncation to %d", len(got), maxRequestIDLen)
+	}
+}
+
+// TestPanicRecoveryMiddleware drives a deliberately panicking handler
+// through the server's middleware chain: the client gets a JSON 500
+// with its request id echoed, serve.panics and the 5xx status class
+// move, and the server keeps serving afterwards.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	f := getFixture(t)
+	s := newTestServer(t, f.pathA, nil)
+
+	boom := s.cfg.Metrics.InstrumentHandler("boom", s.recoverPanics(
+		http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+			panic("kaboom")
+		})))
+	mux := http.NewServeMux()
+	mux.Handle("/boom", boom)
+	mux.Handle("/", s.Handler())
+	hs := httptest.NewServer(withRequestID(mux))
+	defer hs.Close()
+
+	resp, err := http.Get(hs.URL + "/boom")
+	if err != nil {
+		t.Fatalf("panicking handler killed the connection: %v", err)
+	}
+	b, _ := readAll(resp)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500: %s", resp.StatusCode, b)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(b, &er); err != nil || er.Error == "" {
+		t.Errorf("500 body not an error JSON: %s", b)
+	}
+	if resp.Header.Get(RequestIDHeader) == "" {
+		t.Error("panic response lost the request id")
+	}
+	if got := s.cfg.Metrics.Counter("serve.panics").Value(); got != 1 {
+		t.Errorf("serve.panics = %d, want 1", got)
+	}
+	if got := s.cfg.Metrics.Counter("http.boom.status.5xx").Value(); got != 1 {
+		t.Errorf("http.boom.status.5xx = %d, want 1 (recovery must run inside instrumentation)", got)
+	}
+
+	// The server is still healthy.
+	body := fmt.Sprintf(`{"text":%q}`, docText(&f.corpus.Test[0]))
+	if resp, b := postJSON(t, hs.URL+"/v1/classify", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify after panic: status %d: %s", resp.StatusCode, b)
+	}
+}
+
+func readAll(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}
+
+// TestRequestTraceSampling wires a Trace sink at sample rate 1 and
+// checks every classify request emits a well-formed JSONL record whose
+// id matches the response header and whose stages are populated.
+func TestRequestTraceSampling(t *testing.T) {
+	f := getFixture(t)
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	s := newTestServer(t, f.pathA, func(c *Config) {
+		c.Trace = telemetry.NewEventWriter(&syncWriter{w: &buf, mu: &mu})
+		c.TraceSampleEvery = 1
+	})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	body := fmt.Sprintf(`{"text":%q}`, docText(&f.corpus.Test[0]))
+	var ids []string
+	for i := 0; i < 3; i++ {
+		req, err := http.NewRequest(http.MethodPost, hs.URL+"/v1/classify", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(RequestIDHeader, fmt.Sprintf("trace-%d", i))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("classify status %d", resp.StatusCode)
+		}
+		ids = append(ids, resp.Header.Get(RequestIDHeader))
+	}
+
+	mu.Lock()
+	lines := buf.String()
+	mu.Unlock()
+	var recs []telemetry.RequestTraceRecord
+	sc := bufio.NewScanner(strings.NewReader(lines))
+	for sc.Scan() {
+		var rec telemetry.RequestTraceRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != len(ids) {
+		t.Fatalf("got %d trace records for %d requests at rate 1", len(recs), len(ids))
+	}
+	for i, rec := range recs {
+		if rec.RequestID != ids[i] {
+			t.Errorf("record %d id %q, want %q", i, rec.RequestID, ids[i])
+		}
+		if rec.Status != http.StatusOK || rec.Batch != 1 || rec.ModelHash != f.hashA {
+			t.Errorf("record %d fields: %+v", i, rec)
+		}
+		if rec.ClassifyUS <= 0 || rec.TotalUS < rec.ClassifyUS {
+			t.Errorf("record %d durations implausible: %+v", i, rec)
+		}
+	}
+}
+
+type syncWriter struct {
+	w  *bytes.Buffer
+	mu *sync.Mutex
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// fillHistogram builds a snapshot by observing vs into a histogram with
+// the given bounds — the estimator is tested through the same
+// Observe/Snapshot pipeline production uses.
+func fillHistogram(t *testing.T, bounds, vs []float64) HistogramSnapshot {
+	t.Helper()
+	reg := NewRegistry()
+	h := reg.Histogram("q", bounds)
+	for _, v := range vs {
+		h.Observe(v)
+	}
+	return reg.Snapshot().Histograms["q"]
+}
+
+func TestQuantileExactSyntheticFills(t *testing.T) {
+	bounds := []float64{1, 2, 4, 8}
+
+	t.Run("uniform one bucket", func(t *testing.T) {
+		// 100 observations all landing in the (1,2] bucket: quantiles
+		// interpolate linearly across that bucket.
+		vs := make([]float64, 100)
+		for i := range vs {
+			vs[i] = 1.5
+		}
+		hs := fillHistogram(t, bounds, vs)
+		cases := []struct{ q, want float64 }{
+			{0.0, 1.0}, // lower edge of the only occupied bucket
+			{0.5, 1.5}, // midpoint
+			{1.0, 2.0}, // upper edge
+		}
+		for _, c := range cases {
+			if got := hs.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+				t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+			}
+		}
+	})
+
+	t.Run("two equal buckets", func(t *testing.T) {
+		// 50 observations in (0,1], 50 in (2,4]: p50 is the boundary of
+		// the first bucket, p75 the midpoint of the second.
+		vs := make([]float64, 0, 100)
+		for i := 0; i < 50; i++ {
+			vs = append(vs, 0.5, 3.0)
+		}
+		hs := fillHistogram(t, bounds, vs)
+		if got := hs.Quantile(0.5); math.Abs(got-1.0) > 1e-12 {
+			t.Errorf("p50 = %v, want 1.0 (upper edge of first bucket)", got)
+		}
+		if got := hs.Quantile(0.75); math.Abs(got-3.0) > 1e-12 {
+			t.Errorf("p75 = %v, want 3.0 (midpoint of (2,4])", got)
+		}
+	})
+
+	t.Run("first bucket interpolates from zero", func(t *testing.T) {
+		vs := make([]float64, 10)
+		for i := range vs {
+			vs[i] = 0.5
+		}
+		hs := fillHistogram(t, bounds, vs)
+		if got := hs.Quantile(0.5); math.Abs(got-0.5) > 1e-12 {
+			t.Errorf("p50 = %v, want 0.5 (midpoint of implicit (0,1])", got)
+		}
+	})
+
+	t.Run("overflow clamps to last bound", func(t *testing.T) {
+		hs := fillHistogram(t, bounds, []float64{100, 200, 300})
+		for _, q := range []float64{0.1, 0.5, 0.99} {
+			if got := hs.Quantile(q); got != 8 {
+				t.Errorf("Quantile(%v) with all-overflow fill = %v, want last bound 8", q, got)
+			}
+		}
+	})
+
+	t.Run("q clamped outside [0,1]", func(t *testing.T) {
+		hs := fillHistogram(t, bounds, []float64{1.5, 1.5})
+		if got := hs.Quantile(-1); math.Abs(got-1.0) > 1e-12 {
+			t.Errorf("Quantile(-1) = %v, want lower edge 1.0", got)
+		}
+		if got := hs.Quantile(2); math.Abs(got-2.0) > 1e-12 {
+			t.Errorf("Quantile(2) = %v, want upper edge 2.0", got)
+		}
+	})
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	// A spread of values across buckets, including overflow; the
+	// estimate must be non-decreasing in q.
+	vs := []float64{0.1, 0.2, 0.7, 1.5, 1.6, 2.2, 3.9, 5, 6, 7.5, 9, 20}
+	hs := fillHistogram(t, []float64{1, 2, 4, 8}, vs)
+	qs := []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1}
+	got := hs.Quantiles(qs...)
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("quantiles not monotone: q=%v → %v but q=%v → %v (all: %v)",
+				qs[i-1], got[i-1], qs[i], got[i], got)
+		}
+	}
+	if !(got[1] <= hs.Quantile(0.5) && hs.Quantile(0.5) <= hs.Quantile(0.95) && hs.Quantile(0.95) <= hs.Quantile(0.99)) {
+		t.Fatalf("p50 ≤ p95 ≤ p99 violated: %v %v %v",
+			hs.Quantile(0.5), hs.Quantile(0.95), hs.Quantile(0.99))
+	}
+}
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	hs := fillHistogram(t, []float64{1, 2, 4}, nil)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := hs.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if got := hs.Mean(); got != 0 {
+		t.Errorf("empty histogram Mean() = %v, want 0", got)
+	}
+	// The zero-value snapshot (no bounds at all) must also be safe.
+	var zero HistogramSnapshot
+	if got := zero.Quantile(0.5); got != 0 {
+		t.Errorf("zero snapshot Quantile = %v, want 0", got)
+	}
+}
+
+func TestQuantileMean(t *testing.T) {
+	hs := fillHistogram(t, []float64{10}, []float64{1, 2, 3})
+	if got := hs.Mean(); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+}

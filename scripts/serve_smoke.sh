@@ -87,6 +87,30 @@ jq -e '.categories | length > 0' <<<"$modelz" >/dev/null || fail "modelz categor
 jq -e '.metrics.counters["serve.docs"] >= 3' <<<"$modelz" >/dev/null || fail "modelz serve.docs counter: $modelz"
 jq -e '.metrics.counters["http.classify.requests"] >= 3' <<<"$modelz" >/dev/null || fail "modelz http counters: $modelz"
 
+# --- statz -----------------------------------------------------------
+# By here the script has made exactly 3 classify calls: single, batch
+# and malformed (400) — reload/healthz/modelz are other routes and must
+# not count. statz request accounting has to agree.
+statz=$(curl -fsS "$base/v1/statz")
+[ "$(jq -r .model_hash <<<"$statz")" = "$hash" ] || fail "statz hash: $statz"
+jq -e '.uptime_seconds > 0' <<<"$statz" >/dev/null || fail "statz uptime: $statz"
+[ "$(jq -r .requests.total <<<"$statz")" = "3" ] || fail "statz requests.total != 3 classify calls: $statz"
+[ "$(jq -r .requests.ok <<<"$statz")" = "2" ] || fail "statz requests.ok != 2: $statz"
+[ "$(jq -r .requests.client_error <<<"$statz")" = "1" ] || fail "statz requests.client_error != 1: $statz"
+[ "$(jq -r .requests.shed <<<"$statz")" = "0" ] || fail "statz sheds in a serial smoke: $statz"
+[ "$(jq -r .requests.timeout <<<"$statz")" = "0" ] || fail "statz timeouts in a serial smoke: $statz"
+[ "$(jq -r .requests.panics <<<"$statz")" = "0" ] || fail "statz panics: $statz"
+[ "$(jq -r .docs_classified <<<"$statz")" = "3" ] || fail "statz docs_classified != 3 (1 single + 2 batch): $statz"
+[ "$(jq -r .stages.classify.count <<<"$statz")" = "2" ] || fail "statz classify stage count != 2 scored jobs: $statz"
+jq -e '.stages.classify.p50_us <= .stages.classify.p99_us' <<<"$statz" >/dev/null \
+  || fail "statz classify percentiles not monotone: $statz"
+jq -e '.latency.count == 3 and .latency.p50_us > 0' <<<"$statz" >/dev/null || fail "statz latency: $statz"
+
+# Request-id round trip: a client-chosen id must be echoed.
+rid=$(curl -fsS -o /dev/null -D - -H 'X-Request-ID: smoke-rid-1' "$base/v1/healthz" \
+  | tr -d '\r' | sed -n 's/^X-Request-Id: //Ip' | head -1)
+[ "$rid" = "smoke-rid-1" ] || fail "X-Request-ID not echoed: got '$rid'"
+
 # --- graceful shutdown -----------------------------------------------
 kill -TERM "$server_pid"
 if ! wait "$server_pid"; then
