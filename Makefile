@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-baseline test race race-serve bench bench-encode bench-serve encode-smoke telemetry-smoke fuzz-smoke serve-smoke loadgen-smoke fmt-check ci
+.PHONY: all build vet lint lint-self lint-baseline test race race-serve bench bench-encode bench-serve encode-smoke telemetry-smoke fuzz-smoke serve-smoke loadgen-smoke fmt-check ci
 
 all: build
 
@@ -11,11 +11,22 @@ vet:
 	$(GO) vet ./...
 
 # tdlint is the repository's domain-specific static-analysis gate
-# (DESIGN.md §7): determinism, float-comparison hygiene, telemetry
-# discipline, flush-error handling, goroutine-spawn patterns and enum
-# exhaustiveness. Findings subtract tdlint.baseline; keep it empty.
+# (DESIGN.md §7, §8, §12): fourteen analyzers covering determinism,
+# float-comparison hygiene, telemetry discipline, flush-error handling,
+# goroutine-spawn patterns, enum exhaustiveness, cross-package purity,
+# lock/channel discipline, and the serving layer's concurrency
+# contracts (atomic access models, snapshot pin-once, goroutine
+# termination, context flow). Findings subtract tdlint.baseline; keep
+# it empty.
 lint:
 	$(GO) run ./cmd/tdlint ./...
+
+# The concurrency analyzers eat their own dog food: the analysis engine
+# itself (parallel driver, shared fact stores) must satisfy the same
+# atomic/goroutine/context/channel contracts it enforces on the serving
+# layer.
+lint-self:
+	$(GO) run ./cmd/tdlint -checks atomicsafe,goleak,ctxflow,chandisc ./internal/analysis/...
 
 # Regenerate the grandfathered-findings baseline. Prefer fixing
 # findings over baselining them; an empty baseline means a clean tree,
@@ -121,4 +132,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet lint build test race race-serve bench telemetry-smoke encode-smoke fuzz-smoke serve-smoke loadgen-smoke
+ci: fmt-check vet lint lint-self build test race race-serve bench telemetry-smoke encode-smoke fuzz-smoke serve-smoke loadgen-smoke

@@ -17,6 +17,12 @@
 //	-json             one JSON object per finding, one per line, with
 //	                  analyzer, position, message and suppression state
 //	                  (suppressed findings included, marked)
+//	-sarif            one SARIF 2.1.0 document on stdout (suppressed
+//	                  findings included as suppressed results); mutually
+//	                  exclusive with -json
+//	-jobs n           analyze up to n packages concurrently within a
+//	                  dependency level (default: number of CPUs)
+//	-v                print a per-analyzer timing table to stderr
 //
 // Suppress a single finding with an in-source directive on the same
 // line or the line above (the reason is mandatory):
@@ -80,6 +86,10 @@ func repoAnalyzers() []*analysis.Analyzer {
 		analyzers.LockCheck(),
 		analyzers.NilErr(),
 		analyzers.HotAlloc(),
+		analyzers.AtomicSafe(),
+		analyzers.GoLeak(),
+		analyzers.CtxFlow(),
+		analyzers.ChanDisc(),
 	}
 }
 
@@ -107,7 +117,14 @@ func run() int {
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default all)")
 	list := flag.Bool("list", false, "list available checks and exit")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per finding (suppressed ones included, marked)")
+	sarifOut := flag.Bool("sarif", false, "emit one SARIF 2.1.0 document (suppressed findings included, marked)")
+	jobs := flag.Int("jobs", 0, "packages analyzed concurrently per dependency level (0: one per CPU)")
+	verbose := flag.Bool("v", false, "print a per-analyzer timing table to stderr")
 	flag.Parse()
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "tdlint: -json and -sarif are mutually exclusive")
+		return 2
+	}
 
 	all := repoAnalyzers()
 	if *list {
@@ -130,7 +147,11 @@ func run() int {
 		BaselinePath:      *baseline,
 		WriteBaseline:     *writeBaseline,
 		Exclude:           repoExcludes(),
-		IncludeSuppressed: *jsonOut,
+		IncludeSuppressed: *jsonOut || *sarifOut,
+		Jobs:              *jobs,
+	}
+	if *verbose {
+		opts.Stats = driver.NewStats()
 	}
 	if *checks != "" {
 		opts.Checks = strings.Split(*checks, ",")
@@ -139,6 +160,9 @@ func run() int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tdlint: %v\n", err)
 		return 2
+	}
+	if opts.Stats != nil {
+		fmt.Fprint(os.Stderr, opts.Stats.Table())
 	}
 	if *writeBaseline {
 		fmt.Fprintf(os.Stderr, "tdlint: baseline written to %s\n", *baseline)
@@ -149,15 +173,26 @@ func run() int {
 		if f.Active() {
 			active++
 		}
-		if *jsonOut {
-			line, err := f.JSON()
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "tdlint: %v\n", err)
-				return 2
+	}
+	if *sarifOut {
+		doc, err := driver.SARIF(findings, all)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tdlint: %v\n", err)
+			return 2
+		}
+		fmt.Println(string(doc))
+	} else {
+		for _, f := range findings {
+			if *jsonOut {
+				line, err := f.JSON()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "tdlint: %v\n", err)
+					return 2
+				}
+				fmt.Println(string(line))
+			} else {
+				fmt.Println(f.String())
 			}
-			fmt.Println(string(line))
-		} else {
-			fmt.Println(f.String())
 		}
 	}
 	if active > 0 {

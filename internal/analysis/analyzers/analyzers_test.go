@@ -55,3 +55,23 @@ func TestNilErr(t *testing.T) {
 func TestHotAlloc(t *testing.T) {
 	analysistest.Run(t, testdata, analyzers.HotAlloc(), "tdfix/hotalloc")
 }
+
+func TestAtomicSafe(t *testing.T) {
+	// Cross-package cases read tdfix/atomichelp's sealed field registry
+	// and pointer-pin facts.
+	analysistest.Run(t, testdata, analyzers.AtomicSafe(), "tdfix/atomicsafe")
+}
+
+func TestGoLeak(t *testing.T) {
+	// The two-hop and cross-package spawns resolve through
+	// tdfix/goleakhelp's sealed divergence facts.
+	analysistest.Run(t, testdata, analyzers.GoLeak(), "tdfix/goleak")
+}
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, testdata, analyzers.CtxFlow(), "tdfix/ctxflow")
+}
+
+func TestChanDisc(t *testing.T) {
+	analysistest.Run(t, testdata, analyzers.ChanDisc(), "tdfix/chandisc")
+}

@@ -1,0 +1,520 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"temporaldoc/internal/analysis"
+	"temporaldoc/internal/analysis/cfg"
+	"temporaldoc/internal/analysis/conc"
+)
+
+// ChanDisc enforces channel ownership discipline: exactly one closer,
+// and no operation that can panic at runtime survives lint. Three rule
+// families, all running on a may-closed dataflow over the function's
+// CFG (the lockcheck shape, with close events instead of lock events):
+//
+//   - double close: close of a channel that may already be closed on
+//     the path, including a body close overlapping a deferred close;
+//   - send on closed: a send whose channel may already be closed on the
+//     path — including closes that happen inside callees, via a
+//     cross-package "closesparam" fact computed over the call graph
+//     (a function that closes its parameter, directly or transitively,
+//     closes the caller's channel);
+//   - close by non-owner: closing a channel that belongs to another
+//     package (a foreign struct's field), or handing one to a closing
+//     callee. Owning means having made the channel (assignment from a
+//     call), holding it as a parameter (a custody chain the closesparam
+//     fact makes visible at every call site), or keeping it in a struct
+//     the closing package declares.
+func ChanDisc() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "chandisc",
+		Doc: "channel discipline: no double close, no send on a possibly-closed channel, " +
+			"and only the owner (maker, parameter holder, or declaring package) closes",
+		Facts: chanFacts,
+		Run:   runChanDisc,
+	}
+}
+
+// closesParamFact prefixes the per-parameter close facts:
+// "closesparam:0" on fn means fn closes its first channel parameter.
+const closesParamFact = "closesparam"
+
+// chanFacts records which of each function's channel parameters the
+// function closes, directly or by passing them to closing callees.
+func chanFacts(pass *analysis.Pass) error {
+	if pass.Graph == nil || pass.Facts == nil {
+		return fmt.Errorf("chandisc needs interprocedural context (call graph + facts)")
+	}
+	var fns []*types.Func
+	decls := map[*types.Func]*ast.FuncDecl{}
+	closes := map[*types.Func]map[int]string{} // param index → provenance
+	for _, fn := range pass.Graph.Funcs() {
+		if fn.Pkg() != pass.Pkg {
+			continue
+		}
+		if decl := pass.Graph.Decl(fn); decl != nil && decl.Body != nil {
+			fns = append(fns, fn)
+			decls[fn] = decl
+		}
+	}
+	put := func(fn *types.Func, idx int, chain string) bool {
+		m := closes[fn]
+		if m == nil {
+			m = map[int]string{}
+			closes[fn] = m
+		}
+		if _, ok := m[idx]; ok {
+			return false
+		}
+		m[idx] = chain
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			params := paramObjects(pass, decls[fn])
+			ast.Inspect(decls[fn].Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.FuncLit, *ast.GoStmt:
+					// Another frame/goroutine closes — custody left this
+					// function; tracked at that frame instead.
+					return false
+				case *ast.CallExpr:
+					if isBuiltinClose(pass, x) && len(x.Args) == 1 {
+						if id, ok := ast.Unparen(x.Args[0]).(*ast.Ident); ok {
+							if idx, ok := params[pass.Info.Uses[id]]; ok {
+								if put(fn, idx, "closes "+id.Name+" directly") {
+									changed = true
+								}
+							}
+						}
+						return true
+					}
+					callee := staticCallee(pass.Info, x)
+					if callee == nil {
+						return true
+					}
+					for i, arg := range x.Args {
+						id, ok := ast.Unparen(arg).(*ast.Ident)
+						if !ok {
+							continue
+						}
+						idx, ok := params[pass.Info.Uses[id]]
+						if !ok {
+							continue
+						}
+						chain, ok := calleeCloses(pass, closes, callee, i)
+						if !ok {
+							continue
+						}
+						if put(fn, idx, chainName(pass.Pkg, callee)+" → "+chain) {
+							changed = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	for _, fn := range fns {
+		m := closes[fn]
+		idxs := make([]int, 0, len(m))
+		for i := range m {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		for _, i := range idxs {
+			pass.Facts.Put(fn, closesParamFact+":"+strconv.Itoa(i), m[i])
+		}
+	}
+	return nil
+}
+
+// calleeCloses looks up whether callee closes its i-th parameter, in
+// the live same-package results first, sealed facts second.
+func calleeCloses(pass *analysis.Pass, live map[*types.Func]map[int]string, callee *types.Func, i int) (string, bool) {
+	if m, ok := live[callee]; ok {
+		if c, ok := m[i]; ok {
+			return c, true
+		}
+	}
+	return pass.Facts.GetFunc(callee, closesParamFact+":"+strconv.Itoa(i))
+}
+
+// paramObjects maps a declaration's channel parameter objects to their
+// flat argument positions.
+func paramObjects(pass *analysis.Pass, decl *ast.FuncDecl) map[types.Object]int {
+	out := map[types.Object]int{}
+	if decl.Type.Params == nil {
+		return out
+	}
+	idx := 0
+	for _, field := range decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			idx++
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.Info.Defs[name]; obj != nil {
+				if _, ok := obj.Type().Underlying().(*types.Chan); ok {
+					out[obj] = idx
+				}
+			}
+			idx++
+		}
+	}
+	return out
+}
+
+// isBuiltinClose matches the builtin close(ch).
+func isBuiltinClose(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return false
+	}
+	_, ok = pass.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// runChanDisc runs the may-closed dataflow and ownership checks over
+// every function.
+func runChanDisc(pass *analysis.Pass) error {
+	if pass.Facts == nil {
+		return fmt.Errorf("chandisc needs interprocedural context (call graph + facts)")
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if decl, ok := d.(*ast.FuncDecl); ok && decl.Body != nil {
+				chanFlow(pass, decl)
+			}
+		}
+	}
+	return nil
+}
+
+// closedSet tracks which channel keys may be closed on the current
+// path.
+type closedSet map[string]bool
+
+func (c closedSet) clone() closedSet {
+	out := make(closedSet, len(c))
+	for k := range c {
+		out[k] = true
+	}
+	return out
+}
+
+func (c closedSet) equal(o closedSet) bool {
+	if len(c) != len(o) {
+		return false
+	}
+	for k := range c {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// chanFlow analyzes one declaration: fixpoint first, then a reporting
+// sweep with the converged in-states, then the deferred-close overlap.
+func chanFlow(pass *analysis.Pass, decl *ast.FuncDecl) {
+	g := cfg.New(cfg.FuncName(decl), decl.Body)
+	owned := ownedChannels(pass, decl)
+	params := paramObjects(pass, decl)
+
+	ins := make([]closedSet, len(g.Blocks))
+	for i := range ins {
+		ins[i] = closedSet{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			out := chanTransfer(pass, b, ins[b.Index], nil)
+			for _, succ := range b.Succs {
+				union := ins[succ.Index].clone()
+				for k := range out {
+					union[k] = true
+				}
+				if !union.equal(ins[succ.Index]) {
+					ins[succ.Index] = union
+					changed = true
+				}
+			}
+		}
+	}
+	report := func(pos ast.Node, format string, args ...interface{}) {
+		pass.Reportf(pos.Pos(), format, args...)
+	}
+	for _, b := range g.Blocks {
+		chanTransfer(pass, b, ins[b.Index], func(n ast.Node, format string, args ...interface{}) {
+			report(n, format, args...)
+		})
+	}
+
+	// Ownership sweep: every close event must be performed by an owner.
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if isBuiltinClose(pass, x) && len(x.Args) == 1 {
+				checkCloseOwnership(pass, x, x.Args[0], owned, params)
+				return true
+			}
+			callee := staticCallee(pass.Info, x)
+			if callee == nil {
+				return true
+			}
+			for i, arg := range x.Args {
+				if _, ok := calleeCloses(pass, nil, callee, i); !ok {
+					continue
+				}
+				if ownsChannel(pass, arg, owned, params) {
+					continue
+				}
+				pass.Reportf(x.Pos(),
+					"passes %s to %s, which closes it, but %s does not own the channel; only the maker (or its delegate) closes",
+					render(arg), chainName(pass.Pkg, callee), cfg.FuncName(decl))
+			}
+		}
+		return true
+	})
+
+	// Deferred close vs body close: the defer fires at every exit, so a
+	// body close of the same channel double-closes.
+	exitClosed := ins[g.Exit.Index]
+	for _, d := range g.Defers {
+		ast.Inspect(d, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isBuiltinClose(pass, call) || len(call.Args) != 1 {
+				return true
+			}
+			if key := conc.Key(call.Args[0]); key != "" && exitClosed[key] {
+				pass.Reportf(d.Pos(),
+					"deferred close of %s: the channel may already be closed when %s returns (double close)",
+					key, cfg.FuncName(decl))
+			}
+			return true
+		})
+	}
+}
+
+// chanTransfer applies one block's close/send events to the may-closed
+// set (on a clone) and returns the out-state; with report non-nil it
+// also emits path diagnostics (the fixpoint passes nil).
+func chanTransfer(pass *analysis.Pass, b *cfg.Block, in closedSet, report func(ast.Node, string, ...interface{})) closedSet {
+	closed := in.clone()
+	apply := func(root ast.Node) {
+		chanWalk(root, func(sub ast.Node) {
+			switch x := sub.(type) {
+			case *ast.SendStmt:
+				if key := conc.Key(x.Chan); key != "" && closed[key] {
+					if report != nil {
+						report(x, "send on %s: the channel may already be closed on this path", key)
+					}
+				}
+			case *ast.CallExpr:
+				if isBuiltinClose(pass, x) && len(x.Args) == 1 {
+					key := conc.Key(x.Args[0])
+					if key == "" {
+						return
+					}
+					if closed[key] && report != nil {
+						report(x, "close of %s: the channel may already be closed on this path (double close)", key)
+					}
+					closed[key] = true
+					return
+				}
+				callee := staticCallee(pass.Info, x)
+				if callee == nil {
+					return
+				}
+				for i, arg := range x.Args {
+					if _, ok := calleeCloses(pass, nil, callee, i); !ok {
+						continue
+					}
+					key := conc.Key(arg)
+					if key == "" {
+						continue
+					}
+					if closed[key] && report != nil {
+						report(x, "%s closes %s, which may already be closed on this path (double close)",
+							chainName(pass.Pkg, callee), key)
+					}
+					closed[key] = true
+				}
+			}
+		})
+	}
+	for _, s := range b.Stmts {
+		if rs, ok := s.(*ast.RangeStmt); ok {
+			// The head rebinds the iteration variables each trip, so
+			// facts about the previous element die here — `close(j.done)`
+			// inside `for j := range queue` closes a fresh channel every
+			// iteration.
+			apply(rs.X)
+			chanKill(closed, rs.Key)
+			chanKill(closed, rs.Value)
+			continue
+		}
+		apply(s)
+		killAssigned(closed, s)
+	}
+	if b.Cond != nil {
+		apply(b.Cond)
+	}
+	return closed
+}
+
+// killAssigned drops may-closed facts about variables s reassigns or
+// redeclares: the name now holds a different value. Events in the RHS
+// were already applied, so `ch = refill(ch)` transfers correctly.
+func killAssigned(closed closedSet, s ast.Stmt) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt, *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				chanKill(closed, lhs)
+			}
+		case *ast.ValueSpec:
+			for _, name := range x.Names {
+				chanKill(closed, name)
+			}
+		}
+		return true
+	})
+}
+
+// chanKill removes e's key and everything reached through it
+// (killing "j" also kills "j.done").
+func chanKill(closed closedSet, e ast.Expr) {
+	if e == nil {
+		return
+	}
+	key := conc.Key(e)
+	if key == "" {
+		return
+	}
+	for k := range closed {
+		if k == key || strings.HasPrefix(k, key+".") {
+			delete(closed, k)
+		}
+	}
+}
+
+// chanWalk visits send statements and calls in source order without
+// descending into deferred calls (handled at exit), function literals
+// or spawned goroutines (other frames' paths).
+func chanWalk(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.DeferStmt, *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SendStmt, *ast.CallExpr:
+			visit(n)
+		}
+		return true
+	})
+}
+
+// ownedChannels collects the local variables holding channels this
+// function made (or received from a call — a factory hands custody to
+// its caller).
+func ownedChannels(pass *analysis.Pass, decl *ast.FuncDecl) map[types.Object]bool {
+	owned := map[types.Object]bool{}
+	own := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if _, ok := ast.Unparen(rhs).(*ast.CallExpr); !ok {
+			return
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj != nil && declaredWithin(obj, decl) {
+			owned[obj] = true
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i := range x.Lhs {
+					own(x.Lhs[i], x.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(x.Names) == len(x.Values) {
+				for i := range x.Names {
+					own(x.Names[i], x.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return owned
+}
+
+// ownsChannel decides whether e denotes a channel this function may
+// close or delegate: a made local, a parameter (custody chain), or a
+// field of a struct this package declares.
+func ownsChannel(pass *analysis.Pass, e ast.Expr, owned map[types.Object]bool, params map[types.Object]int) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.Info.Uses[x]
+		if obj == nil {
+			return false
+		}
+		if owned[obj] {
+			return true
+		}
+		if _, ok := params[obj]; ok {
+			return true
+		}
+		// Package-level channel variable of this package.
+		return obj.Pkg() == pass.Pkg && obj.Parent() == pass.Pkg.Scope()
+	case *ast.SelectorExpr:
+		selection, ok := pass.Info.Selections[x]
+		if !ok || selection.Kind() != types.FieldVal {
+			return false
+		}
+		return selection.Obj().Pkg() == pass.Pkg
+	}
+	return false
+}
+
+// checkCloseOwnership reports a direct close by a non-owner.
+func checkCloseOwnership(pass *analysis.Pass, call *ast.CallExpr, arg ast.Expr, owned map[types.Object]bool, params map[types.Object]int) {
+	if ownsChannel(pass, arg, owned, params) {
+		return
+	}
+	switch x := ast.Unparen(arg).(type) {
+	case *ast.SelectorExpr:
+		selection, ok := pass.Info.Selections[x]
+		if ok && selection.Kind() == types.FieldVal && selection.Obj().Pkg() != nil {
+			pass.Reportf(call.Pos(),
+				"close of %s: the channel belongs to package %s; only its owning package may close it",
+				render(arg), selection.Obj().Pkg().Name())
+			return
+		}
+	case *ast.Ident:
+		pass.Reportf(call.Pos(),
+			"close of %s: this function neither made the channel nor received it as a parameter; only the owner closes",
+			x.Name)
+		return
+	}
+	// Computed expressions (index, call results) are untracked rather
+	// than guessed at.
+}

@@ -1,0 +1,229 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"temporaldoc/internal/analysis"
+	"temporaldoc/internal/analysis/conc"
+)
+
+// CtxFlow makes cancellation structural on the request paths. A
+// function that receives a context.Context (or an *http.Request, whose
+// context the handler owns) has promised its caller a bounded lifetime;
+// every blocking operation in its flow must honour that promise. The
+// 504 path of the serving layer only works because handlers select on
+// ctx.Done() around every wait — this check keeps the next handler
+// honest before the soak test has to.
+//
+// The facts phase records, per function, whether it can block without
+// honouring a context — a bare channel send/receive, a select with
+// neither default nor a ctx.Done() case, or time.Sleep — then closes
+// the relation over calls that do not pass a context along (handing the
+// callee a context discharges the caller; the callee is then judged on
+// its own flow). The run phase reports, inside context-carrying
+// functions only, each direct blocking operation and each call into a
+// may-block callee that receives no context, with provenance chains.
+//
+// Ranging over a channel is deliberately exempt: `for v := range ch` is
+// the owner-closes-drain idiom goleak accepts as a termination path.
+// Deliberately detached work opts out with //tdlint:background <reason>
+// (shared with goleak, which validates the reason).
+func CtxFlow() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "ctxflow",
+		Doc: "context-carrying functions must honour cancellation at every blocking point " +
+			"(no bare sends/receives, no ctx-less selects, no time.Sleep); opt-out: //tdlint:background <reason>",
+		Facts: ctxflowFacts,
+		Run:   runCtxFlow,
+	}
+}
+
+// mayBlockFact carries the blocking provenance chain.
+const mayBlockFact = "mayblock"
+
+// ctxflowFacts summarizes, per function, the first way it can block
+// without honouring a context, closing over context-less calls.
+func ctxflowFacts(pass *analysis.Pass) error {
+	if pass.Graph == nil || pass.Facts == nil {
+		return fmt.Errorf("ctxflow needs interprocedural context (call graph + facts)")
+	}
+	var fns []*types.Func
+	decls := map[*types.Func]*ast.FuncDecl{}
+	chains := map[*types.Func]string{}
+	for _, fn := range pass.Graph.Funcs() {
+		if fn.Pkg() != pass.Pkg {
+			continue
+		}
+		decl := pass.Graph.Decl(fn)
+		if decl == nil || decl.Body == nil || isBackground(decl) {
+			continue
+		}
+		fns = append(fns, fn)
+		decls[fn] = decl
+		for _, op := range conc.BlockingOps(pass.Info, decl.Body) {
+			if desc := blockingDesc(pass, op); desc != "" {
+				chains[fn] = desc + atLoc(pass, op.Pos)
+				break
+			}
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			if chains[fn] != "" {
+				continue
+			}
+			ast.Inspect(decls[fn].Body, func(n ast.Node) bool {
+				if chains[fn] != "" {
+					return false
+				}
+				switch x := n.(type) {
+				case *ast.FuncLit, *ast.GoStmt:
+					return false
+				case *ast.CallExpr:
+					callee := staticCallee(pass.Info, x)
+					if callee == nil || isBackground(pass.Graph.Decl(callee)) || passesContext(pass, x) {
+						return true
+					}
+					var calleeChain string
+					if c, ok := chains[callee]; ok && c != "" {
+						calleeChain = c
+					} else if c, ok := pass.Facts.GetFunc(callee, mayBlockFact); ok {
+						calleeChain = c
+					} else {
+						return true
+					}
+					chains[fn] = chainName(pass.Pkg, callee) + " → " + calleeChain
+					changed = true
+					return false
+				}
+				return true
+			})
+		}
+	}
+	for _, fn := range fns {
+		if c := chains[fn]; c != "" {
+			pass.Facts.Put(fn, mayBlockFact, c)
+		}
+	}
+	return nil
+}
+
+// runCtxFlow reports unhonoured blocking inside context-carrying
+// functions.
+func runCtxFlow(pass *analysis.Pass) error {
+	if pass.Graph == nil || pass.Facts == nil {
+		return fmt.Errorf("ctxflow needs interprocedural context (call graph + facts)")
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil || !carriesContext(pass, decl) || isBackground(decl) {
+				continue
+			}
+			for _, op := range conc.BlockingOps(pass.Info, decl.Body) {
+				switch op.Kind {
+				case conc.OpSleep:
+					pass.Reportf(op.Pos,
+						"time.Sleep ignores ctx; use a time.Timer (or time.After) in a select with ctx.Done()")
+				case conc.OpSend:
+					pass.Reportf(op.Pos,
+						"bare send on %s cannot be cancelled; select on it together with ctx.Done()", chanName(op.Chan))
+				case conc.OpRecv:
+					pass.Reportf(op.Pos,
+						"bare receive from %s cannot be cancelled; select on it together with ctx.Done()", chanName(op.Chan))
+				case conc.OpSelect:
+					if !op.HasDefault && !op.HasDone {
+						pass.Reportf(op.Pos,
+							"select blocks without a ctx.Done() case; cancellation cannot reach this wait")
+					}
+				}
+			}
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.FuncLit, *ast.GoStmt:
+					return false
+				case *ast.CallExpr:
+					callee := staticCallee(pass.Info, x)
+					if callee == nil || isBackground(pass.Graph.Decl(callee)) || passesContext(pass, x) {
+						return true
+					}
+					if c, ok := pass.Facts.GetFunc(callee, mayBlockFact); ok {
+						pass.Reportf(x.Pos(),
+							"%s may block (%s) but receives no context; pass ctx through so cancellation reaches the wait",
+							chainName(pass.Pkg, callee), c)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// blockingDesc renders one blocking op for a provenance chain; "" for
+// ops that do honour cancellation (selects with default or a Done
+// case).
+func blockingDesc(pass *analysis.Pass, op conc.Op) string {
+	switch op.Kind {
+	case conc.OpSleep:
+		return "time.Sleep"
+	case conc.OpSend:
+		return "send on " + chanName(op.Chan)
+	case conc.OpRecv:
+		return "receive from " + chanName(op.Chan)
+	case conc.OpSelect:
+		if !op.HasDefault && !op.HasDone {
+			return "select without ctx.Done"
+		}
+	}
+	return ""
+}
+
+// chanName renders a channel expression for diagnostics.
+func chanName(e ast.Expr) string {
+	if e == nil {
+		return "a channel"
+	}
+	if k := conc.Key(e); k != "" {
+		return k
+	}
+	return render(e)
+}
+
+// carriesContext reports whether decl receives a context.Context or an
+// *http.Request parameter (whose Context() the function owns).
+func carriesContext(pass *analysis.Pass, decl *ast.FuncDecl) bool {
+	if decl.Type.Params == nil {
+		return false
+	}
+	for _, field := range decl.Type.Params.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if conc.IsContext(t) {
+			return true
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			if named, ok := p.Elem().(*types.Named); ok && namedIs(named, "net/http", "Request") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// passesContext reports whether any argument of call is a
+// context.Context.
+func passesContext(pass *analysis.Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if conc.IsContext(pass.TypeOf(arg)) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,225 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"temporaldoc/internal/analysis"
+	"temporaldoc/internal/analysis/cfg"
+	"temporaldoc/internal/analysis/conc"
+)
+
+// GoLeak demands a provable termination path for every goroutine the
+// repo spawns. The serving layer's contract is that shutdown drains:
+// workers end when the owner closes the queue, the reload watcher ends
+// on context cancellation, loadgen's fan-out is bounded. A goroutine
+// whose body can wedge in a loop that never reaches return outlives
+// every one of those mechanisms and leaks — worse, it pins whatever
+// snapshot or buffer it captured.
+//
+// Mechanics: the facts phase marks each function whose CFG has a
+// reachable block that cannot reach the exit (a path that provably
+// never returns), then closes the relation over calls — a function
+// that calls a diverging callee may never return either — with
+// provenance chains, reading imported packages' sealed facts at the
+// boundary. The run phase inspects every `go` statement: a spawned
+// named function carrying a diverges fact, or a spawned literal whose
+// own CFG diverges (or that calls a diverging callee), is reported at
+// the spawn site, where the missing exit path has to be designed.
+//
+// Deliberately detached work opts out with `//tdlint:background
+// <reason>` on the spawned function (or on the spawner, for literals);
+// the reason is the reviewable contract, and an annotation without one
+// is itself a finding.
+func GoLeak() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "goleak",
+		Doc: "every go statement needs a provable termination path (context cancellation, " +
+			"owner-closed channel, or bounded loop); opt-out: //tdlint:background <reason>",
+		Facts: goleakFacts,
+		Run:   runGoLeak,
+	}
+}
+
+// divergesFact carries the non-termination provenance chain.
+const divergesFact = "diverges"
+
+// backgroundDirective is the shared opt-out for deliberately detached
+// work, honoured by goleak (termination) and ctxflow (cancellation).
+const backgroundDirective = "tdlint:background"
+
+// isBackground reports whether decl opts out of the concurrency
+// contracts as deliberate detached work.
+func isBackground(decl *ast.FuncDecl) bool {
+	if decl == nil {
+		return false
+	}
+	ok, _ := funcDirective(decl, backgroundDirective)
+	return ok
+}
+
+// goleakFacts computes per-function divergence: direct CFG divergence
+// first, then a fixed point over calls (a caller of a function that
+// never returns never returns either).
+func goleakFacts(pass *analysis.Pass) error {
+	if pass.Graph == nil || pass.Facts == nil {
+		return fmt.Errorf("goleak needs interprocedural context (call graph + facts)")
+	}
+	var fns []*types.Func
+	decls := map[*types.Func]*ast.FuncDecl{}
+	chains := map[*types.Func]string{}
+	for _, fn := range pass.Graph.Funcs() {
+		if fn.Pkg() != pass.Pkg {
+			continue
+		}
+		decl := pass.Graph.Decl(fn)
+		if decl == nil || decl.Body == nil || isBackground(decl) {
+			continue
+		}
+		fns = append(fns, fn)
+		decls[fn] = decl
+		g := cfg.New(cfg.FuncName(decl), decl.Body)
+		if pos, div := conc.Divergence(g); div {
+			chains[fn] = "never reaches return" + atLoc(pass, pos)
+		}
+	}
+
+	// Fixed point: calls into diverging callees (same package live,
+	// imported through sealed facts). Function literals and go/defer
+	// subtrees are other flows and do not charge the encloser.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			if chains[fn] != "" {
+				continue
+			}
+			ast.Inspect(decls[fn].Body, func(n ast.Node) bool {
+				if chains[fn] != "" {
+					return false
+				}
+				switch x := n.(type) {
+				case *ast.FuncLit, *ast.GoStmt:
+					return false
+				case *ast.CallExpr:
+					callee := staticCallee(pass.Info, x)
+					if callee == nil || isBackground(pass.Graph.Decl(callee)) {
+						return true
+					}
+					var calleeChain string
+					if c, ok := chains[callee]; ok && c != "" {
+						calleeChain = c
+					} else if c, ok := pass.Facts.GetFunc(callee, divergesFact); ok {
+						calleeChain = c
+					} else {
+						return true
+					}
+					chains[fn] = chainName(pass.Pkg, callee) + " → " + calleeChain
+					changed = true
+					return false
+				}
+				return true
+			})
+		}
+	}
+	for _, fn := range fns {
+		if c := chains[fn]; c != "" {
+			pass.Facts.Put(fn, divergesFact, c)
+		}
+	}
+	return nil
+}
+
+// runGoLeak reports go statements spawning work with no provable
+// termination path, and //tdlint:background annotations without a
+// reason.
+func runGoLeak(pass *analysis.Pass) error {
+	if pass.Graph == nil || pass.Facts == nil {
+		return fmt.Errorf("goleak needs interprocedural context (call graph + facts)")
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if ok, reason := funcDirective(decl, backgroundDirective); ok && strings.TrimSpace(reason) == "" {
+				pass.Reportf(decl.Pos(),
+					"//tdlint:background needs a reason: //tdlint:background <why this work is deliberately detached>")
+			}
+			if decl.Body == nil || isBackground(decl) {
+				continue
+			}
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if chain := spawnDiverges(pass, g); chain != "" {
+					pass.Reportf(g.Pos(),
+						"goroutine has no provable termination path: %s; exit on ctx.Done()/an owner-closed channel, or annotate the function //tdlint:background <reason>",
+						chain)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// spawnDiverges decides whether the goroutine started by g can wedge,
+// returning the provenance chain ("" when it provably can terminate —
+// or when nothing proves otherwise).
+func spawnDiverges(pass *analysis.Pass, g *ast.GoStmt) string {
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body := cfg.New("go func", fun.Body)
+		if pos, div := conc.Divergence(body); div {
+			return "the spawned func literal never reaches return" + atLoc(pass, pos)
+		}
+		// One hop into the literal's own calls: a literal that wraps a
+		// diverging function diverges with it.
+		chain := ""
+		ast.Inspect(fun.Body, func(n ast.Node) bool {
+			if chain != "" {
+				return false
+			}
+			switch x := n.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			case *ast.CallExpr:
+				callee := staticCallee(pass.Info, x)
+				if callee == nil || isBackground(pass.Graph.Decl(callee)) {
+					return true
+				}
+				if c, ok := pass.Facts.GetFunc(callee, divergesFact); ok {
+					chain = chainName(pass.Pkg, callee) + " → " + c
+					return false
+				}
+			}
+			return true
+		})
+		return chain
+	default:
+		callee := staticCallee(pass.Info, g.Call)
+		if callee == nil || isBackground(pass.Graph.Decl(callee)) {
+			return ""
+		}
+		if c, ok := pass.Facts.GetFunc(callee, divergesFact); ok {
+			return chainName(pass.Pkg, callee) + " → " + c
+		}
+		return ""
+	}
+}
+
+// atLoc renders " (file:line)" for a witness position, or "".
+func atLoc(pass *analysis.Pass, pos token.Pos) string {
+	if !pos.IsValid() {
+		return ""
+	}
+	p := pass.Fset.Position(pos)
+	return fmt.Sprintf(" (%s:%d)", filepath.Base(p.Filename), p.Line)
+}

@@ -1,0 +1,111 @@
+// Fixture for the chandisc analyzer: double close (direct, branchy,
+// deferred, and through closing callees — same-package and via sealed
+// cross-package facts), send on a possibly-closed channel, and close by
+// a non-owner.
+package chandisc
+
+import "tdfix/chandischelp"
+
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want "close of ch: the channel may already be closed on this path"
+}
+
+func sendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want "send on ch: the channel may already be closed on this path"
+}
+
+func branchyClose(cond bool) {
+	ch := make(chan int)
+	if cond {
+		close(ch)
+	}
+	close(ch) // want "may already be closed on this path"
+}
+
+func deferDouble() {
+	ch := make(chan int)
+	defer close(ch) // want "deferred close of ch"
+	close(ch)
+}
+
+func closeViaHelper() {
+	ch := make(chan int)
+	close(ch)
+	chandischelp.Finish(ch) // want "chandischelp.Finish closes ch, which may already be closed"
+}
+
+func closeTwoHop() {
+	ch := make(chan int)
+	close(ch)
+	chandischelp.FinishIndirect(ch) // want "chandischelp.FinishIndirect closes ch, which may already be closed"
+}
+
+// producer closes its parameter: custody arrived with the argument.
+func producer(ch chan int) {
+	ch <- 1
+	close(ch)
+}
+
+// runProducer made ch, so handing it to a closing callee is fine.
+func runProducer() {
+	ch := make(chan int, 1)
+	producer(ch)
+}
+
+// owner closes its own field: the owning package's prerogative.
+type owner struct {
+	done chan struct{}
+}
+
+func (o *owner) shut() {
+	close(o.done)
+}
+
+func foreignClose(s *chandischelp.Source) {
+	close(s.Ch) // want "the channel belongs to package chandischelp; only its owning package may close it"
+}
+
+func passesForeign(s *chandischelp.Source) {
+	chandischelp.Finish(s.Ch) // want "does not own the channel"
+}
+
+func closesBorrowed(m map[string]chan int) {
+	ch := m["x"]
+	close(ch) // want "neither made the channel nor received it as a parameter"
+}
+
+// job mirrors the serving layer's per-job completion channel.
+type job struct {
+	done chan struct{}
+}
+
+// drainJobs closes a *fresh* channel every trip — the range head
+// rebinds j, killing the loop-carried may-closed state: clean.
+func drainJobs(jobs chan *job) {
+	for j := range jobs {
+		close(j.done)
+	}
+}
+
+// refill reassigns ch to a new channel after closing the old one;
+// the assignment kills the closed fact: clean.
+func refill() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch = make(chan int, 1)
+	ch <- 1
+	close(ch)
+}
+
+// consume only receives: clean.
+func consume(s *chandischelp.Source) int {
+	total := 0
+	for v := range s.Ch {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,20 @@
+// Package chandischelp seeds channel-closing helpers and a foreign
+// channel owner in a *different* package, so the chandisc fixture
+// exercises closesparam propagation and ownership checks across a
+// package boundary through sealed facts.
+package chandischelp
+
+// Source owns Ch; consumers must not close it.
+type Source struct {
+	Ch chan int
+}
+
+// Finish closes its parameter — custody transfers at every call site.
+func Finish(ch chan int) {
+	close(ch)
+}
+
+// FinishIndirect closes ch through Finish — a two-hop chain.
+func FinishIndirect(ch chan int) {
+	Finish(ch)
+}

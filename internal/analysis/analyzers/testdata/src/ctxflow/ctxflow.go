@@ -1,0 +1,81 @@
+// Fixture for the ctxflow analyzer: context-carrying functions must
+// honour cancellation at every blocking point — direct ops, calls into
+// may-block helpers (same-package and via sealed cross-package facts) —
+// with the //tdlint:background opt-out and the context-passing
+// discharge.
+package ctxflow
+
+import (
+	"context"
+	"time"
+
+	"tdfix/ctxflowhelp"
+)
+
+func sleepy(ctx context.Context) {
+	time.Sleep(time.Millisecond) // want "time.Sleep ignores ctx"
+}
+
+func bareSend(ctx context.Context, ch chan int) {
+	ch <- 1 // want "bare send on ch cannot be cancelled"
+}
+
+func bareRecv(ctx context.Context, ch chan int) int {
+	return <-ch // want "bare receive from ch cannot be cancelled"
+}
+
+func blindSelect(ctx context.Context, a, b chan int) {
+	select { // want "select blocks without a ctx.Done"
+	case <-a:
+	case <-b:
+	}
+}
+
+// okSelect honours ctx at the wait: clean.
+func okSelect(ctx context.Context, ch chan int) {
+	select {
+	case <-ch:
+	case <-ctx.Done():
+	}
+}
+
+// okDefault never blocks: clean.
+func okDefault(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// okRange drains an owner-closed channel: the goleak-blessed idiom is
+// exempt here too.
+func okRange(ctx context.Context, ch chan int) {
+	for range ch {
+	}
+}
+
+func viaHelper(ctx context.Context, ch chan int) int {
+	return ctxflowhelp.Drain(ch) // want "ctxflowhelp.Drain may block"
+}
+
+func viaTwoHops(ctx context.Context, ch chan int) int {
+	return ctxflowhelp.DrainTwice(ch) // want "ctxflowhelp.DrainTwice may block"
+}
+
+// handsCtx passes the context along; the callee is judged on its own
+// flow: clean.
+func handsCtx(ctx context.Context, ch chan int) int {
+	return ctxflowhelp.DrainCtx(ctx, ch)
+}
+
+// plainWorker made no context promise: clean.
+func plainWorker(ch chan int) int {
+	return <-ch
+}
+
+// pump is deliberately detached; the annotation suppresses the check.
+//
+//tdlint:background drained by owner close at shutdown
+func pump(ctx context.Context, ch chan int) int {
+	return <-ch
+}

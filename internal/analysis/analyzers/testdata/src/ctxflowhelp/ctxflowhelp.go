@@ -1,0 +1,26 @@
+// Package ctxflowhelp seeds blocking helpers in a *different* package,
+// so the ctxflow fixture exercises may-block propagation across a
+// package boundary through sealed facts.
+package ctxflowhelp
+
+import "context"
+
+// Drain blocks on ch with no cancellation path.
+func Drain(ch chan int) int {
+	return <-ch
+}
+
+// DrainTwice blocks through Drain — a two-hop chain.
+func DrainTwice(ch chan int) int {
+	return Drain(ch) + Drain(ch)
+}
+
+// DrainCtx honours cancellation; handing it a ctx discharges callers.
+func DrainCtx(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}

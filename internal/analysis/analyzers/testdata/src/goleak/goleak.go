@@ -1,0 +1,80 @@
+// Fixture for the goleak analyzer: go statements spawning work with no
+// provable termination path — named functions, literals, one- and
+// two-hop chains, and a cross-package case through sealed facts — plus
+// the //tdlint:background opt-out and its mandatory reason.
+package goleak
+
+import (
+	"context"
+
+	"tdfix/goleakhelp"
+)
+
+func spin() {
+	for {
+	}
+}
+
+func spawnSpin() {
+	go spin() // want "goroutine has no provable termination path: spin → never reaches return"
+}
+
+func spawnLiteral() {
+	go func() { // want "the spawned func literal never reaches return"
+		for {
+		}
+	}()
+}
+
+// spawnBounded's goroutine ends when the owner closes ch: clean.
+func spawnBounded(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// spawnCtx's goroutine exits on cancellation: clean.
+func spawnCtx(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ch:
+			}
+		}
+	}()
+}
+
+func spawnCross() {
+	go goleakhelp.Forever() // want "goleakhelp.Forever → never reaches return"
+}
+
+// viaHelper never returns, but only its callee's sealed fact proves it.
+func viaHelper() {
+	goleakhelp.Forever()
+}
+
+func spawnTwoHop() {
+	go viaHelper() // want "viaHelper → goleakhelp.Forever → never reaches return"
+}
+
+// pump intentionally runs for the process lifetime.
+//
+//tdlint:background owns the flush loop for the process lifetime
+func pump() {
+	for {
+	}
+}
+
+// spawnPump is clean: pump declared itself deliberate background work.
+func spawnPump() {
+	go pump()
+}
+
+//tdlint:background
+func badPump() { // want "needs a reason"
+	for {
+	}
+}

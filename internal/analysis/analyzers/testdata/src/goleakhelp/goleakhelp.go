@@ -1,0 +1,17 @@
+// Package goleakhelp seeds a diverging function in a *different*
+// package, so the goleak fixture exercises divergence propagation
+// across a package boundary through sealed facts.
+package goleakhelp
+
+// Forever spins with no exit path.
+func Forever() {
+	for {
+	}
+}
+
+// Bounded drains ch until the owner closes it — the termination path
+// goleak accepts.
+func Bounded(ch chan int) {
+	for range ch {
+	}
+}

@@ -1,0 +1,239 @@
+// Package conc is the concurrency-dataflow layer under the atomicsafe,
+// goleak, ctxflow and chandisc analyzers: CFG divergence (can a
+// function fail to reach its exit?), blocking-operation enumeration
+// (bare sends/receives, blocking selects, time.Sleep) and stable
+// channel naming for may-closed dataflow. Standard library only, like
+// the rest of internal/analysis.
+//
+// The walks here share one attribution convention with the call graph:
+// a function literal runs on its encloser's behalf, so its operations
+// charge the enclosing function — except when the literal is spawned
+// with `go`, which starts a new goroutine (a new job scope) whose
+// operations are the goleak analyzer's business, not the spawner's.
+package conc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"temporaldoc/internal/analysis/cfg"
+)
+
+// Divergence reports whether some block of g is reachable from the
+// entry but cannot reach the exit — i.e. the function has a path on
+// which it provably never returns (`for {}` without a break, `select{}`,
+// a loop whose only exits re-enter it). The returned position is a
+// deterministic witness: the first statement of the lowest-index
+// diverging block (token.NoPos when every diverging block is empty,
+// e.g. a bare `for {}`).
+func Divergence(g *cfg.Graph) (token.Pos, bool) {
+	if g == nil || len(g.Blocks) == 0 {
+		return token.NoPos, false
+	}
+	// Forward reachability from the entry.
+	fwd := make([]bool, len(g.Blocks))
+	var walk func(*cfg.Block)
+	walk = func(b *cfg.Block) {
+		if fwd[b.Index] {
+			return
+		}
+		fwd[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Blocks[0])
+
+	// Reverse reachability from the exit over the predecessor relation.
+	preds := make([][]*cfg.Block, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s.Index] = append(preds[s.Index], b)
+		}
+	}
+	rev := make([]bool, len(g.Blocks))
+	var back func(*cfg.Block)
+	back = func(b *cfg.Block) {
+		if rev[b.Index] {
+			return
+		}
+		rev[b.Index] = true
+		for _, p := range preds[b.Index] {
+			back(p)
+		}
+	}
+	back(g.Exit)
+
+	witness, diverges := token.NoPos, false
+	for _, b := range g.Blocks {
+		if !fwd[b.Index] || rev[b.Index] {
+			continue
+		}
+		diverges = true
+		if witness == token.NoPos && len(b.Stmts) > 0 {
+			witness = b.Stmts[0].Pos()
+		}
+	}
+	return witness, diverges
+}
+
+// OpKind classifies one blocking operation.
+type OpKind int
+
+const (
+	// OpSend is a bare channel send outside any select.
+	OpSend OpKind = iota
+	// OpRecv is a bare channel receive outside any select (receives of
+	// ctx.Done() are exempt — waiting for cancellation is the point).
+	OpRecv
+	// OpSelect is a select statement; HasDefault and HasDone qualify it.
+	OpSelect
+	// OpSleep is a time.Sleep call.
+	OpSleep
+)
+
+// Op is one potentially blocking operation found in a function body.
+type Op struct {
+	Kind OpKind
+	Pos  token.Pos
+	// Chan is the channel expression of a send/receive, nil otherwise.
+	Chan ast.Expr
+	// HasDefault marks a select with a default clause (non-blocking).
+	HasDefault bool
+	// HasDone marks a select with a case receiving from a
+	// context.Context's Done() channel (cancellable).
+	HasDone bool
+}
+
+// BlockingOps enumerates the blocking operations of root in source
+// order. Send/receive statements that are select communication clauses
+// belong to their select and are not double-counted; `go`-spawned
+// subtrees are skipped entirely (their blocking runs in another
+// goroutine); function literals are included (they run on the
+// encloser's behalf). Ranging over a channel is deliberately not an
+// op: `for v := range ch` is the owner-closes-drain idiom the goleak
+// analyzer blesses as a termination path.
+func BlockingOps(info *types.Info, root ast.Node) []Op {
+	var ops []Op
+	inSelect := map[ast.Node]bool{}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			op := Op{Kind: OpSelect, Pos: x.Pos()}
+			for _, c := range x.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if cc.Comm == nil {
+					op.HasDefault = true
+					continue
+				}
+				// Mark the clause's send/receive nodes so the walk below
+				// does not count them as bare operations.
+				ast.Inspect(cc.Comm, func(m ast.Node) bool {
+					switch m.(type) {
+					case *ast.SendStmt, *ast.UnaryExpr:
+						inSelect[m] = true
+					case *ast.FuncLit, *ast.GoStmt:
+						return false
+					}
+					return true
+				})
+				if commReceivesDone(info, cc.Comm) {
+					op.HasDone = true
+				}
+			}
+			ops = append(ops, op)
+			return true
+		case *ast.SendStmt:
+			if !inSelect[x] {
+				ops = append(ops, Op{Kind: OpSend, Pos: x.Pos(), Chan: x.Chan})
+			}
+			return true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !inSelect[x] && !isDoneCall(info, x.X) {
+				ops = append(ops, Op{Kind: OpRecv, Pos: x.Pos(), Chan: x.X})
+			}
+			return true
+		case *ast.CallExpr:
+			if isPkgCall(info, x, "time", "Sleep") {
+				ops = append(ops, Op{Kind: OpSleep, Pos: x.Pos()})
+			}
+			return true
+		}
+		return true
+	})
+	return ops
+}
+
+// commReceivesDone reports whether a select communication statement
+// receives from a context's Done() channel.
+func commReceivesDone(info *types.Info, comm ast.Stmt) bool {
+	found := false
+	ast.Inspect(comm, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW && isDoneCall(info, u.X) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isDoneCall matches `ctx.Done()` for a context.Context-typed ctx.
+func isDoneCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	return IsContext(info.TypeOf(sel.X))
+}
+
+// IsContext reports whether t is context.Context.
+func IsContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+// isPkgCall matches a qualified package-level call pkg.name(...).
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// Key renders a channel expression as a stable path ("ch", "p.queue",
+// "j.done") for may-closed dataflow keys. Expressions with computed
+// parts (indexing, calls) are not trackable and return "".
+func Key(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if base := Key(x.X); base != "" {
+			return base + "." + x.Sel.Name
+		}
+	case *ast.ParenExpr:
+		return Key(x.X)
+	case *ast.StarExpr:
+		return Key(x.X)
+	}
+	return ""
+}

@@ -18,8 +18,11 @@ import (
 	"fmt"
 	"go/token"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"temporaldoc/internal/analysis"
 	"temporaldoc/internal/analysis/callgraph"
@@ -45,6 +48,53 @@ type Options struct {
 	// Suppression state — instead of dropping them. Editor/CI
 	// integrations (-json) use this to show muted findings in place.
 	IncludeSuppressed bool
+	// Jobs bounds how many packages are analyzed concurrently within a
+	// dependency level; <= 0 means one worker per CPU.
+	Jobs int
+	// Stats, when non-nil, accumulates per-analyzer wall time across all
+	// phases and packages (cumulative over workers, so it reads as CPU
+	// time once packages run in parallel).
+	Stats *Stats
+}
+
+// Stats accumulates per-analyzer time. Safe for concurrent use.
+type Stats struct {
+	mu  sync.Mutex
+	dur map[string]time.Duration
+}
+
+// NewStats returns an empty accumulator.
+func NewStats() *Stats { return &Stats{dur: map[string]time.Duration{}} }
+
+func (s *Stats) add(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.dur[name] += d
+	s.mu.Unlock()
+}
+
+// Table renders one "analyzer<tab>duration" row per analyzer, slowest
+// first (ties by name), for the -v timing report.
+func (s *Stats) Table() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.dur))
+	for n := range s.dur {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if s.dur[names[i]] != s.dur[names[j]] {
+			return s.dur[names[i]] > s.dur[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-16s %v\n", n, s.dur[n].Round(time.Microsecond))
+	}
+	return b.String()
 }
 
 // Suppression states of a finding.
@@ -114,8 +164,13 @@ func Run(res *load.Result, analyzers []*analysis.Analyzer, opts Options) ([]Find
 	if err != nil {
 		return nil, err
 	}
+	var mu sync.Mutex
 	var diags []analysis.Diagnostic
-	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
+	report := func(d analysis.Diagnostic) {
+		mu.Lock()
+		diags = append(diags, d)
+		mu.Unlock()
+	}
 
 	// Interprocedural context: the call graph is shared; each analyzer
 	// with a facts phase gets its own store, filled package by package
@@ -124,38 +179,49 @@ func Run(res *load.Result, analyzers []*analysis.Analyzer, opts Options) ([]Find
 	order := load.DependencyOrder(res.Packages)
 	stores := map[string]*facts.Store{}
 	for _, a := range selected {
-		if a.Facts == nil {
-			continue
-		}
-		st := facts.NewStore()
-		stores[a.Name] = st
-		for _, pkg := range order {
-			if err := st.Begin(pkg.ImportPath); err != nil {
-				return nil, fmt.Errorf("%s: %v", a.Name, err)
-			}
-			pass := analysis.NewPass(a, res.Fset, pkg.Files, pkg.Types, pkg.Info, report)
-			pass.Graph = graph
-			pass.Facts = st
-			if err := a.Facts(pass); err != nil {
-				return nil, fmt.Errorf("%s: facts: %s: %v", a.Name, pkg.ImportPath, err)
-			}
-			if err := st.Seal(); err != nil {
-				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
-			}
+		if a.Facts != nil {
+			stores[a.Name] = facts.NewStore()
 		}
 	}
 
+	// Suppression directives index before any analysis, so malformed
+	// directives report deterministically regardless of scheduling.
 	sup := newSuppressions()
 	for _, pkg := range res.Packages {
 		for _, f := range pkg.Files {
 			sup.indexFile(res.Fset, f, report)
 		}
-		for _, a := range selected {
-			pass := analysis.NewPass(a, res.Fset, pkg.Files, pkg.Types, pkg.Info, report)
-			pass.Graph = graph
-			pass.Facts = stores[a.Name]
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+	}
+
+	// Packages are analyzed level by level: a package's level is one
+	// past the deepest of its in-set imports, so everything a package's
+	// facts or run phase reads — its imports' sealed blobs — was sealed
+	// at an earlier level, and packages within a level are mutually
+	// independent and run concurrently. Each worker runs one package end
+	// to end (every facts phase in its own store view, sealed, then
+	// every run phase), which keeps the facts-before-importers invariant
+	// without a global barrier between the phases.
+	jobs := opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.NumCPU()
+	}
+	for _, level := range dependencyLevels(order) {
+		errs := make([]error, len(level))
+		sem := make(chan struct{}, jobs)
+		var wg sync.WaitGroup
+		for i, pkg := range level {
+			wg.Add(1)
+			go func(i int, pkg *load.Package) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				errs[i] = analyzePackage(res, graph, stores, selected, opts.Stats, report, pkg)
+			}(i, pkg)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
 			}
 		}
 	}
@@ -187,7 +253,12 @@ func Run(res *load.Result, analyzers []*analysis.Analyzer, opts Options) ([]Find
 		if a.Position.Column != b.Position.Column {
 			return a.Position.Column < b.Position.Column
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		// Message is the final tie-break so parallel collection order
+		// can never leak into the output.
+		return a.Message < b.Message
 	})
 
 	if opts.BaselinePath == "" {
@@ -212,6 +283,72 @@ func active(findings []Finding) []Finding {
 		}
 	}
 	return out
+}
+
+// analyzePackage runs every selected analyzer over one package: facts
+// phases first (each in a fresh view of its analyzer's store, sealed
+// immediately), then run phases reading through the sealed blobs.
+func analyzePackage(res *load.Result, graph *callgraph.Graph, stores map[string]*facts.Store,
+	selected []*analysis.Analyzer, stats *Stats, report func(analysis.Diagnostic), pkg *load.Package) error {
+	for _, a := range selected {
+		if a.Facts == nil {
+			continue
+		}
+		view := stores[a.Name].View()
+		if err := view.Begin(pkg.ImportPath); err != nil {
+			return fmt.Errorf("%s: %v", a.Name, err)
+		}
+		pass := analysis.NewPass(a, res.Fset, pkg.Files, pkg.Types, pkg.Info, report)
+		pass.Graph = graph
+		pass.Facts = view
+		t0 := time.Now()
+		err := a.Facts(pass)
+		stats.add(a.Name, time.Since(t0))
+		if err != nil {
+			return fmt.Errorf("%s: facts: %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		if err := view.Seal(); err != nil {
+			return fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+	for _, a := range selected {
+		pass := analysis.NewPass(a, res.Fset, pkg.Files, pkg.Types, pkg.Info, report)
+		pass.Graph = graph
+		pass.Facts = stores[a.Name]
+		t0 := time.Now()
+		err := a.Run(pass)
+		stats.add(a.Name, time.Since(t0))
+		if err != nil {
+			return fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+	return nil
+}
+
+// dependencyLevels slices a topologically ordered package list into
+// levels: level(p) = 1 + max level of p's in-set imports. Same-level
+// packages cannot import each other, so they analyze concurrently.
+func dependencyLevels(order []*load.Package) [][]*load.Package {
+	inSet := make(map[string]bool, len(order))
+	for _, p := range order {
+		inSet[p.ImportPath] = true
+	}
+	level := make(map[string]int, len(order))
+	var levels [][]*load.Package
+	for _, p := range order {
+		l := 0
+		for _, imp := range p.Types.Imports() {
+			if inSet[imp.Path()] && level[imp.Path()]+1 > l {
+				l = level[imp.Path()] + 1
+			}
+		}
+		level[p.ImportPath] = l
+		for len(levels) <= l {
+			levels = append(levels, nil)
+		}
+		levels[l] = append(levels[l], p)
+	}
+	return levels
 }
 
 // buildGraph adapts the loader's packages for the call-graph builder.

@@ -1,0 +1,129 @@
+// SARIF 2.1.0 rendering for the -sarif output mode: one run, one rule
+// per analyzer, one result per finding. Suppressed findings are kept as
+// results carrying a suppression object (kind "inSource" for //lint
+// directives, "external" for path excludes and the baseline), which is
+// how SARIF consumers — code-scanning dashboards, editor panels — show
+// muted findings in place instead of silently dropping them.
+package driver
+
+import (
+	"encoding/json"
+
+	"temporaldoc/internal/analysis"
+)
+
+const (
+	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    int                `json:"ruleIndex"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// SARIF renders findings as one indented SARIF 2.1.0 document. The rule
+// table lists every configured analyzer (clean runs still advertise
+// what was checked); pseudo-checks that appear only in findings — the
+// driver's own "lintdirective" diagnostics — get rules on demand.
+func SARIF(findings []Finding, analyzers []*analysis.Analyzer) ([]byte, error) {
+	var rules []sarifRule
+	index := map[string]int{}
+	addRule := func(id, doc string) int {
+		if i, ok := index[id]; ok {
+			return i
+		}
+		index[id] = len(rules)
+		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: doc}})
+		return index[id]
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		r := sarifResult{
+			RuleID:    f.Check,
+			RuleIndex: addRule(f.Check, "reported by the tdlint driver"),
+			Level:     "warning",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: f.RelPath},
+				Region:           sarifRegion{StartLine: f.Position.Line, StartColumn: f.Position.Column},
+			}}},
+		}
+		switch f.Suppression {
+		case SuppressedIgnore:
+			r.Suppressions = []sarifSuppression{{Kind: "inSource", Justification: f.Suppression}}
+		case SuppressedExclude, SuppressedBaseline:
+			r.Suppressions = []sarifSuppression{{Kind: "external", Justification: f.Suppression}}
+		}
+		results = append(results, r)
+	}
+
+	return json.MarshalIndent(sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "tdlint", Rules: rules}},
+			Results: results,
+		}},
+	}, "", "  ")
+}

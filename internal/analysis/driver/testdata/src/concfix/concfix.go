@@ -1,0 +1,57 @@
+// Package concfix exercises the driver-level suppression paths of the
+// concurrency analyzers: one caught goroutine leak, one opted out with
+// //tdlint:background (analyzer-level), one silenced with //lint:ignore
+// (driver-level), plus //lint:ignore'd atomicsafe and chandisc
+// findings.
+package concfix
+
+import "sync/atomic"
+
+func spin() {
+	for {
+	}
+}
+
+func spawnBad() {
+	go spin()
+}
+
+// pump is deliberate detached work; the annotation suppresses the
+// check inside the analyzer, so the driver never sees a finding.
+//
+//tdlint:background fixture: deliberate process-lifetime spinner
+func pump() {
+	for {
+	}
+}
+
+func spawnAnnotated() {
+	go pump()
+}
+
+func spawnIgnored() {
+	//lint:ignore goleak fixture: accepted wedge, exercised by the driver test
+	go spin()
+}
+
+// reg's counter is atomic-managed by bump; peek's plain read is an
+// atomicsafe finding silenced at the driver layer.
+type reg struct {
+	n int64
+}
+
+func bump(r *reg) {
+	atomic.AddInt64(&r.n, 1)
+}
+
+func peek(r *reg) int64 {
+	//lint:ignore atomicsafe fixture: torn read acceptable in this probe
+	return r.n
+}
+
+func closeTwice() {
+	ch := make(chan int)
+	close(ch)
+	//lint:ignore chandisc fixture: deliberate double close for the suppression test
+	close(ch)
+}

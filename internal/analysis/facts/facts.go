@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"go/types"
 	"sort"
+	"sync"
 )
 
 // Fact is one serialized entry: a named property of one function.
@@ -32,23 +33,40 @@ type Fact struct {
 
 type key struct{ fn, name string }
 
-// Store holds one analyzer's facts: an open working set for the package
-// currently being analyzed, plus sealed per-package blobs for every
-// package already finished.
-type Store struct {
-	openPkg string
-	open    map[key]string
+// shared is the sealed-blob state every view of a store reads through.
+// The mutex makes concurrent Seal/Get safe, which is what lets the
+// driver run independent packages' facts phases in parallel: each
+// package works in its own view's open set and only synchronizes on the
+// sealed map — the same discipline the build cache applies to export
+// data.
+type shared struct {
+	mu      sync.Mutex
 	sealed  map[string][]byte
 	decoded map[string]map[key]string
 }
 
+// Store holds one analyzer's facts: an open working set for the package
+// currently being analyzed, plus sealed per-package blobs for every
+// package already finished (shared between views).
+type Store struct {
+	sh      *shared
+	openPkg string
+	open    map[key]string
+}
+
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{
+	return &Store{sh: &shared{
 		sealed:  map[string][]byte{},
 		decoded: map[string]map[key]string{},
-	}
+	}}
 }
+
+// View returns a store that shares this store's sealed blobs but has
+// its own open working set, so independent packages can run Begin/Put/
+// Seal concurrently. Views and their parent are interchangeable for
+// reads.
+func (s *Store) View() *Store { return &Store{sh: s.sh} }
 
 // FuncID is the stable identifier facts are keyed by.
 func FuncID(fn *types.Func) string { return fn.FullName() }
@@ -66,13 +84,20 @@ func (s *Store) Begin(pkgPath string) error {
 
 // Put records a fact for fn in the open package's working set.
 func (s *Store) Put(fn *types.Func, name, detail string) {
+	s.PutID(FuncID(fn), name, detail)
+}
+
+// PutID records a fact under an arbitrary stable identifier — used for
+// non-function subjects such as struct fields (the atomicsafe field
+// registry keys facts by "pkg.Type.field").
+func (s *Store) PutID(id, name, detail string) {
 	if s.open == nil {
 		panic("facts: Put outside Begin/Seal")
 	}
-	s.open[key{FuncID(fn), name}] = detail
+	s.open[key{id, name}] = detail
 }
 
-// Get looks a fact up by function ID: the open working set first (the
+// Get looks a fact up by subject ID: the open working set first (the
 // package being analyzed sees its own facts live), then every sealed
 // package, decoding blobs on first touch.
 func (s *Store) Get(fnID, name string) (detail string, ok bool) {
@@ -82,7 +107,9 @@ func (s *Store) Get(fnID, name string) (detail string, ok bool) {
 			return d, true
 		}
 	}
-	for pkg, blob := range s.sealed {
+	s.sh.mu.Lock()
+	defer s.sh.mu.Unlock()
+	for pkg, blob := range s.sh.sealed {
 		m, err := s.decode(pkg, blob)
 		if err != nil {
 			continue
@@ -110,15 +137,21 @@ func (s *Store) Seal() error {
 	if err != nil {
 		return err
 	}
-	s.sealed[s.openPkg] = blob
-	delete(s.decoded, s.openPkg)
+	s.sh.mu.Lock()
+	s.sh.sealed[s.openPkg] = blob
+	delete(s.sh.decoded, s.openPkg)
+	s.sh.mu.Unlock()
 	s.open, s.openPkg = nil, ""
 	return nil
 }
 
 // Export returns the sealed blob of pkgPath (nil when never sealed),
 // for callers that persist facts next to export data.
-func (s *Store) Export(pkgPath string) []byte { return s.sealed[pkgPath] }
+func (s *Store) Export(pkgPath string) []byte {
+	s.sh.mu.Lock()
+	defer s.sh.mu.Unlock()
+	return s.sh.sealed[pkgPath]
+}
 
 // Import installs a previously exported blob for pkgPath, validating it
 // eagerly.
@@ -126,20 +159,23 @@ func (s *Store) Import(pkgPath string, blob []byte) error {
 	if _, err := decodeBlob(blob); err != nil {
 		return fmt.Errorf("facts: importing %s: %v", pkgPath, err)
 	}
-	s.sealed[pkgPath] = blob
-	delete(s.decoded, pkgPath)
+	s.sh.mu.Lock()
+	s.sh.sealed[pkgPath] = blob
+	delete(s.sh.decoded, pkgPath)
+	s.sh.mu.Unlock()
 	return nil
 }
 
+// decode caches a blob's decoded map; callers hold sh.mu.
 func (s *Store) decode(pkg string, blob []byte) (map[key]string, error) {
-	if m, ok := s.decoded[pkg]; ok {
+	if m, ok := s.sh.decoded[pkg]; ok {
 		return m, nil
 	}
 	m, err := decodeBlob(blob)
 	if err != nil {
 		return nil, err
 	}
-	s.decoded[pkg] = m
+	s.sh.decoded[pkg] = m
 	return m, nil
 }
 
