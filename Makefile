@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-self lint-baseline test race race-serve bench bench-encode bench-serve encode-smoke telemetry-smoke fuzz-smoke serve-smoke loadgen-smoke fmt-check ci
+.PHONY: all build vet lint lint-self lint-warm lint-baseline test race race-serve bench bench-encode bench-serve encode-smoke telemetry-smoke fuzz-smoke serve-smoke loadgen-smoke fmt-check ci
 
 all: build
 
@@ -11,22 +11,31 @@ vet:
 	$(GO) vet ./...
 
 # tdlint is the repository's domain-specific static-analysis gate
-# (DESIGN.md §7, §8, §12): fourteen analyzers covering determinism,
+# (DESIGN.md §7, §8, §12, §13): fifteen analyzers covering determinism,
 # float-comparison hygiene, telemetry discipline, flush-error handling,
 # goroutine-spawn patterns, enum exhaustiveness, cross-package purity,
-# lock/channel discipline, and the serving layer's concurrency
-# contracts (atomic access models, snapshot pin-once, goroutine
-# termination, context flow). Findings subtract tdlint.baseline; keep
-# it empty.
+# seed provenance, lock/channel discipline, and the serving layer's
+# concurrency contracts (atomic access models, snapshot pin-once,
+# goroutine termination, context flow). Findings subtract
+# tdlint.baseline; keep it empty.
+#
+# The run is incremental: results are content-addressed per (package,
+# analyzer) in os.UserCacheDir()/tdlint (DESIGN.md §13), so warm runs
+# only re-analyze what changed. This one invocation covers what used to
+# be a separate lint-self pass — the full suite runs over ./...,
+# internal/analysis included, and the engine eats its own dog food.
 lint:
 	$(GO) run ./cmd/tdlint ./...
 
-# The concurrency analyzers eat their own dog food: the analysis engine
-# itself (parallel driver, shared fact stores) must satisfy the same
-# atomic/goroutine/context/channel contracts it enforces on the serving
-# layer.
-lint-self:
-	$(GO) run ./cmd/tdlint -checks atomicsafe,goleak,ctxflow,chandisc ./internal/analysis/...
+# Historical alias: the self-lint of the analysis engine is part of
+# `lint` now that the cache makes one full-suite invocation cheap.
+lint-self: lint
+
+# Asserts the incremental cache actually bites: a warm run must report
+# zero misses and be at least 5x faster than a cold one, with findings
+# byte-identical cached vs. uncached and across -jobs values.
+lint-warm:
+	./scripts/lint_warm_smoke.sh
 
 # Regenerate the grandfathered-findings baseline. Prefer fixing
 # findings over baselining them; an empty baseline means a clean tree,
@@ -132,4 +141,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet lint lint-self build test race race-serve bench telemetry-smoke encode-smoke fuzz-smoke serve-smoke loadgen-smoke
+ci: fmt-check vet lint lint-warm build test race race-serve bench telemetry-smoke encode-smoke fuzz-smoke serve-smoke loadgen-smoke

@@ -22,7 +22,11 @@
 //	                  exclusive with -json
 //	-jobs n           analyze up to n packages concurrently within a
 //	                  dependency level (default: number of CPUs)
-//	-v                print a per-analyzer timing table to stderr
+//	-cache dir        root of the incremental analysis cache (default
+//	                  os.UserCacheDir()/tdlint; "off" disables caching)
+//	-v                print a per-analyzer timing table (facts and run
+//	                  phases split out) and the cache hit/miss counters
+//	                  to stderr
 //
 // Suppress a single finding with an in-source directive on the same
 // line or the line above (the reason is mandatory):
@@ -36,12 +40,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"temporaldoc/internal/analysis"
 	"temporaldoc/internal/analysis/analyzers"
 	"temporaldoc/internal/analysis/driver"
-	"temporaldoc/internal/analysis/load"
 )
 
 // telemetryPath is the import path of the real telemetry package the
@@ -65,6 +69,22 @@ func trainingEntries() []string {
 	}
 }
 
+// seedEntries are the training/eval boundaries the seedflow analyzer
+// guards: any RNG construction reachable from one of these must seed
+// from explicit configuration (Config.Seed or a constant), never from
+// time.Now, the global RNG, or an untraceable local. Classify/Score
+// apply trained state without drawing randomness, so they are covered
+// by purity alone.
+func seedEntries() []string {
+	return []string{
+		"som.Train",
+		"lgp.Run",
+		"hsom.Train",
+		"hsom.Encode",
+		"core.Train",
+	}
+}
+
 // assumePurePaths are packages pure by contract rather than analysis:
 // telemetry reads the clock on purpose and is kept write-only (unable
 // to perturb models) by the telemetrysafe analyzer plus core's
@@ -83,6 +103,7 @@ func repoAnalyzers() []*analysis.Analyzer {
 		analyzers.LoopCapture(),
 		analyzers.Exhaustive(),
 		analyzers.Purity(trainingEntries(), assumePurePaths()),
+		analyzers.Seedflow(seedEntries()),
 		analyzers.LockCheck(),
 		analyzers.NilErr(),
 		analyzers.HotAlloc(),
@@ -107,6 +128,24 @@ func repoExcludes() map[string][]string {
 	}
 }
 
+// resolveCacheDir turns the -cache flag into a driver CacheDir: "off"
+// (or a failed user-cache-dir lookup) disables caching, empty picks
+// the per-user default.
+func resolveCacheDir(flagValue string) string {
+	switch flagValue {
+	case "off":
+		return ""
+	case "":
+		base, err := os.UserCacheDir()
+		if err != nil {
+			return ""
+		}
+		return filepath.Join(base, "tdlint")
+	default:
+		return flagValue
+	}
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -119,7 +158,8 @@ func run() int {
 	jsonOut := flag.Bool("json", false, "emit one JSON object per finding (suppressed ones included, marked)")
 	sarifOut := flag.Bool("sarif", false, "emit one SARIF 2.1.0 document (suppressed findings included, marked)")
 	jobs := flag.Int("jobs", 0, "packages analyzed concurrently per dependency level (0: one per CPU)")
-	verbose := flag.Bool("v", false, "print a per-analyzer timing table to stderr")
+	cacheDir := flag.String("cache", "", `incremental analysis cache directory (default os.UserCacheDir()/tdlint; "off" disables)`)
+	verbose := flag.Bool("v", false, "print per-analyzer facts/run timings and cache counters to stderr")
 	flag.Parse()
 	if *jsonOut && *sarifOut {
 		fmt.Fprintln(os.Stderr, "tdlint: -json and -sarif are mutually exclusive")
@@ -138,17 +178,13 @@ func run() int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	res, err := load.Packages(".", patterns...)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tdlint: %v\n", err)
-		return 2
-	}
 	opts := driver.Options{
 		BaselinePath:      *baseline,
 		WriteBaseline:     *writeBaseline,
 		Exclude:           repoExcludes(),
 		IncludeSuppressed: *jsonOut || *sarifOut,
 		Jobs:              *jobs,
+		CacheDir:          resolveCacheDir(*cacheDir),
 	}
 	if *verbose {
 		opts.Stats = driver.NewStats()
@@ -156,13 +192,16 @@ func run() int {
 	if *checks != "" {
 		opts.Checks = strings.Split(*checks, ",")
 	}
-	findings, err := driver.Run(res, all, opts)
+	findings, err := driver.RunCached(".", patterns, all, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tdlint: %v\n", err)
 		return 2
 	}
 	if opts.Stats != nil {
 		fmt.Fprint(os.Stderr, opts.Stats.Table())
+		if line := opts.Stats.CacheLine(); line != "" {
+			fmt.Fprintln(os.Stderr, line)
+		}
 	}
 	if *writeBaseline {
 		fmt.Fprintf(os.Stderr, "tdlint: baseline written to %s\n", *baseline)

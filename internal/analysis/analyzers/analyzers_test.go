@@ -44,6 +44,15 @@ func TestPurity(t *testing.T) {
 		"tdfix/purity")
 }
 
+func TestSeedflow(t *testing.T) {
+	// Entry points configured the way cmd/tdlint configures the real
+	// training paths; the fixture's cross-package chain goes through
+	// tdfix/seedflowhelp's sealed facts.
+	analysistest.Run(t, testdata,
+		analyzers.Seedflow([]string{"seedflow.Train"}),
+		"tdfix/seedflow")
+}
+
 func TestLockCheck(t *testing.T) {
 	analysistest.Run(t, testdata, analyzers.LockCheck(), "tdfix/lockcheck")
 }

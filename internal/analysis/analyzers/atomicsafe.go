@@ -40,7 +40,8 @@ import (
 // bury the root cause in cascade noise.
 func AtomicSafe() *analysis.Analyzer {
 	return &analysis.Analyzer{
-		Name: "atomicsafe",
+		Name:    "atomicsafe",
+		Version: "1",
 		Doc: "fields managed by sync/atomic must never be accessed plainly, and an atomic.Pointer/" +
 			"atomic.Value snapshot must be loaded at most once per request/job flow",
 		Facts: atomicFacts,

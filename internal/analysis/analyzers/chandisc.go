@@ -33,7 +33,8 @@ import (
 //     the closing package declares.
 func ChanDisc() *analysis.Analyzer {
 	return &analysis.Analyzer{
-		Name: "chandisc",
+		Name:    "chandisc",
+		Version: "1",
 		Doc: "channel discipline: no double close, no send on a possibly-closed channel, " +
 			"and only the owner (maker, parameter holder, or declaring package) closes",
 		Facts: chanFacts,

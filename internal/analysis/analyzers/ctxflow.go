@@ -32,7 +32,8 @@ import (
 // (shared with goleak, which validates the reason).
 func CtxFlow() *analysis.Analyzer {
 	return &analysis.Analyzer{
-		Name: "ctxflow",
+		Name:    "ctxflow",
+		Version: "1",
 		Doc: "context-carrying functions must honour cancellation at every blocking point " +
 			"(no bare sends/receives, no ctx-less selects, no time.Sleep); opt-out: //tdlint:background <reason>",
 		Facts: ctxflowFacts,

@@ -26,7 +26,8 @@ import (
 //     changes result bits run to run. Iterate sorted keys instead.
 func Determinism() *analysis.Analyzer {
 	return &analysis.Analyzer{
-		Name: "determinism",
+		Name:    "determinism",
+		Version: "1",
 		Doc: "flags shared-global RNG use, wall-clock reads outside duration telemetry, " +
 			"and order-dependent floating-point work inside map iteration",
 		Run: runDeterminism,

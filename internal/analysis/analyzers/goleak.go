@@ -37,7 +37,8 @@ import (
 // is itself a finding.
 func GoLeak() *analysis.Analyzer {
 	return &analysis.Analyzer{
-		Name: "goleak",
+		Name:    "goleak",
+		Version: "1",
 		Doc: "every go statement needs a provable termination path (context cancellation, " +
 			"owner-closed channel, or bounded loop); opt-out: //tdlint:background <reason>",
 		Facts: goleakFacts,

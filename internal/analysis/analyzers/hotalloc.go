@@ -34,7 +34,8 @@ const hotDirective = "tdlint:hotpath"
 // must not.
 func HotAlloc() *analysis.Analyzer {
 	return &analysis.Analyzer{
-		Name: "hotalloc",
+		Name:    "hotalloc",
+		Version: "1",
 		Doc: "//tdlint:hotpath functions must not allocate per call: no escaping composite " +
 			"literals, no capturing closures, no unpreallocated append growth, no interface boxing",
 		Run: runHotAlloc,

@@ -31,7 +31,8 @@ import (
 // //lint:ignore with the protocol spelled out.
 func LockCheck() *analysis.Analyzer {
 	return &analysis.Analyzer{
-		Name: "lockcheck",
+		Name:    "lockcheck",
+		Version: "1",
 		Doc: "CFG-based mutex discipline: unlock on every path, no double-lock, no unlock " +
 			"without lock, no goroutine spawn or channel send under a held lock, no mutex copies",
 		Run: runLockCheck,

@@ -23,9 +23,10 @@ import (
 //     happen on the spawning side, before `go`.
 func LoopCapture() *analysis.Analyzer {
 	return &analysis.Analyzer{
-		Name: "loopcapture",
-		Doc:  "flags goroutines capturing loop variables instead of taking parameters, and WaitGroup.Add inside the spawned goroutine",
-		Run:  runLoopCapture,
+		Name:    "loopcapture",
+		Version: "1",
+		Doc:     "flags goroutines capturing loop variables instead of taking parameters, and WaitGroup.Add inside the spawned goroutine",
+		Run:     runLoopCapture,
 	}
 }
 

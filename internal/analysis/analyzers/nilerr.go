@@ -31,7 +31,8 @@ import (
 // every path agrees.
 func NilErr() *analysis.Analyzer {
 	return &analysis.Analyzer{
-		Name: "nilerr",
+		Name:    "nilerr",
+		Version: "1",
 		Doc: "flow-sensitive error hygiene: no result use before the error is checked, " +
 			"no result use on the failure path, no nil error returned while one is known non-nil",
 		Run: runNilErr,

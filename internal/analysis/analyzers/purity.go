@@ -36,7 +36,9 @@ import (
 func Purity(entries []string, assumePure []string) *analysis.Analyzer {
 	p := &purity{entries: entries, assumePure: assumePure}
 	return &analysis.Analyzer{
-		Name: "purity",
+		Name:    "purity",
+		Version: "1",
+		Config:  strings.Join(entries, ",") + "|" + strings.Join(assumePure, ","),
 		Doc: "training-path entry points must not transitively reach global RNG, wall-clock reads " +
 			"or map-order float accumulation (opt-out: //tdlint:impure <reason>)",
 		Facts: p.facts,
@@ -194,7 +196,15 @@ func (p *purity) run(pass *analysis.Pass) error {
 }
 
 func (p *purity) isEntry(pkgBase, funcName string) bool {
-	for _, e := range p.entries {
+	return matchesEntry(p.entries, pkgBase, funcName)
+}
+
+// matchesEntry matches a function against "pkgname.NamePrefix" entry
+// patterns ("som.Train" covers som.Train and (*som.Map).TrainBatch
+// alike; a bare "pkg." covers the package's exported API). Shared by
+// the purity and seedflow analyzers.
+func matchesEntry(entries []string, pkgBase, funcName string) bool {
+	for _, e := range entries {
 		pkg, prefix, ok := strings.Cut(e, ".")
 		if !ok || pkg != pkgBase {
 			continue

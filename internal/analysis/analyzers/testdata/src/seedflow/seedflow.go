@@ -1,0 +1,107 @@
+// Fixture for the seedflow analyzer. Entry points (configured in the
+// test as "seedflow.Train") must not reach an RNG construction whose
+// seed derives from time.Now, the global RNG, or an untraceable value.
+// Non-entry functions never get reports — their constructions only
+// matter when an entry can reach them.
+package seedflow
+
+import (
+	"math/rand"
+	"time"
+
+	"tdfix/seedflowhelp"
+)
+
+// Config is the explicit-seed carrier, mirroring the real repo's
+// per-subsystem configs.
+type Config struct {
+	Seed int64
+}
+
+// globalSeed is mutable process state: not a traceable seed.
+var globalSeed int64
+
+// TrainGood threads the config seed straight in: clean.
+func TrainGood(cfg Config, n int) int {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return rng.Intn(n)
+}
+
+// TrainConst seeds from a compile-time constant: clean.
+func TrainConst(n int) int {
+	rng := rand.New(rand.NewSource(42))
+	return rng.Intn(n)
+}
+
+// TrainDerived mixes a parameter with constants through a local —
+// still fully traceable: clean.
+func TrainDerived(seed int64, n int) int {
+	s := seed ^ 0x7a11
+	rng := rand.New(rand.NewSource(s + 1))
+	return rng.Intn(n)
+}
+
+// TrainBad seeds from the wall clock in its own body.
+func TrainBad(n int) int { // want "TrainBad is a training entry point but reaches an unseeded RNG: rand.New at seedflow.go"
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	return rng.Intn(n)
+}
+
+// TrainGlobal seeds from the process-global RNG.
+func TrainGlobal(n int) int { // want "seeded from global math/rand.Int63"
+	src := rand.NewSource(rand.Int63())
+	return rand.New(src).Intn(n)
+}
+
+// TrainUnflowed seeds from mutable package-level state.
+func TrainUnflowed(n int) int { // want "seeded from package-level variable globalSeed"
+	rng := rand.New(rand.NewSource(globalSeed))
+	return rng.Intn(n)
+}
+
+// TrainTwoHop reaches a wall-clock construction through a helper —
+// invisible intraprocedurally.
+func TrainTwoHop(n int) int { // want "reaches an unseeded RNG: newClockRNG → rand.New at seedflow.go"
+	return newClockRNG().Intn(n)
+}
+
+func newClockRNG() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+// TrainCross reaches a wall-clock construction in an imported package,
+// through its sealed facts.
+func TrainCross(n int) int { // want "reaches an unseeded RNG: seedflowhelp.NewRNG → rand.New at seedflowhelp.go"
+	return seedflowhelp.NewRNG().Intn(n)
+}
+
+// TrainCrossSeeded uses the helper package's explicit-seed path: clean.
+func TrainCrossSeeded(cfg Config, n int) int {
+	return seedflowhelp.NewSeeded(cfg.Seed).Intn(n)
+}
+
+// TrainSuppressed calls an opted-out helper: the annotation is a
+// barrier, so the entry stays clean.
+func TrainSuppressed(n int) int {
+	return demoRNG().Intn(n)
+}
+
+// demoRNG is deliberately wall-clock seeded, and says why.
+//
+//tdlint:seeded demo-only RNG, its draws never reach persisted model state
+func demoRNG() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+// badSeeded opts out without a reason: that is itself a finding.
+//
+//tdlint:seeded
+func badSeeded() *rand.Rand { // want "tdlint:seeded needs a reason"
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+// NotAnEntry constructs a wall-clock RNG but matches no entry pattern:
+// no report here.
+func NotAnEntry() *rand.Rand {
+	return newClockRNG()
+}

@@ -1,0 +1,20 @@
+// Package seedflowhelp seeds RNG constructors in a *different*
+// package, so the seedflow fixture exercises provenance propagation
+// across a package boundary through sealed facts.
+package seedflowhelp
+
+import (
+	"math/rand"
+	"time"
+)
+
+// NewRNG constructs a wall-clock-seeded RNG — the unseeded pattern the
+// analyzer exists to catch.
+func NewRNG() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+// NewSeeded threads an explicit seed — the reproducible pattern.
+func NewSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

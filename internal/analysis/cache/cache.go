@@ -1,0 +1,184 @@
+// Package cache is the on-disk store behind tdlint's incremental
+// analysis. It is content-addressed the way the go build cache is:
+// every (package, analyzer) pair owns an *action key* — a hash of
+// everything that can influence that analyzer's output on that package
+// (source bytes, direct dependencies' action keys, compiler export
+// data of out-of-set imports, the analyzer's name/version/config, the
+// engine and toolchain fingerprint; the driver computes it) — and the
+// store maps the key to the sealed result: the analyzer's serialized
+// fact blob plus its diagnostics, positions resolved and in-source
+// suppression state baked in.
+//
+// Entries are immutable: a key names exactly one possible value, so a
+// lookup never needs validation beyond "does the object decode and
+// carry the key it was filed under". Corrupt or truncated objects are
+// a miss, never an error — the driver recomputes and rewrites. Writes
+// go through a temp file and a rename, so concurrent workers (and
+// concurrent tdlint processes sharing a cache directory) can only ever
+// observe complete entries.
+//
+// Alongside the object store the cache keeps a tiny index mapping
+// (package, analyzer) to the last key written for it. The index is
+// advisory — only the stats counters read it, to distinguish a cold
+// miss from an invalidation — and its loss is harmless.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Diag is one cached diagnostic: the position is pre-resolved to a
+// module-relative path so a hit never needs the package parsed, and
+// the in-source suppression verdict is baked in (the directives live
+// in the same sources the action key hashes, so the verdict can never
+// go stale while the key still matches).
+type Diag struct {
+	// Check is the analyzer that reported the diagnostic. Usually the
+	// entry's own check; the suppression pseudo-entry stores
+	// "lintdirective" findings here.
+	Check string `json:"check"`
+	// File is the module-relative source path.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Message is the diagnostic text, byte-for-byte what the live run
+	// reported.
+	Message string `json:"message"`
+	// Suppressed marks a finding silenced by an in-source //lint:ignore
+	// directive. Path excludes and the baseline are applied fresh on
+	// every run, never cached.
+	Suppressed bool `json:"suppressed,omitempty"`
+}
+
+// Entry is one sealed (package, analyzer) result.
+type Entry struct {
+	// Key is the action key the entry was stored under.
+	Key string `json:"key"`
+	// ImportPath and Check identify what was analyzed; they are
+	// validated on load as a defense against hash-collision absurdity
+	// and hand-edited stores.
+	ImportPath string `json:"importPath"`
+	Check      string `json:"check"`
+	// Facts is the analyzer's sealed fact blob for the package (absent
+	// for purely intraprocedural analyzers) — the exact bytes
+	// facts.Store.Export returns, ready for Import by a warm run.
+	Facts json.RawMessage `json:"facts,omitempty"`
+	// Diags are the diagnostics the analyzer reported on this package.
+	Diags []Diag `json:"diags,omitempty"`
+}
+
+// Store is one cache directory.
+type Store struct {
+	dir string
+}
+
+// Open prepares a store rooted at dir, creating it if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cache: empty directory")
+	}
+	for _, sub := range []string{"o", "i"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("cache: %v", err)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// objectPath shards objects by the key's first byte, go-build-cache
+// style, so one directory never accumulates every entry.
+func (s *Store) objectPath(key string) string {
+	if len(key) < 3 {
+		return filepath.Join(s.dir, "o", "xx", key+".json")
+	}
+	return filepath.Join(s.dir, "o", key[:2], key[2:]+".json")
+}
+
+// indexPath addresses the advisory last-key record of one
+// (package, analyzer) pair.
+func (s *Store) indexPath(importPath, check string) string {
+	h := sha256.Sum256([]byte(importPath + "\x00" + check))
+	return filepath.Join(s.dir, "i", hex.EncodeToString(h[:16]))
+}
+
+// Get returns the entry stored under key, or (nil, false) on any kind
+// of absence: missing file, undecodable JSON, or an entry whose
+// recorded identity disagrees with what the caller is looking for.
+// Corruption is deliberately indistinguishable from a cold miss.
+func (s *Store) Get(key, importPath, check string) (*Entry, bool) {
+	data, err := os.ReadFile(s.objectPath(key))
+	if err != nil {
+		return nil, false
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	if e.Key != key || e.ImportPath != importPath || e.Check != check {
+		return nil, false
+	}
+	return &e, true
+}
+
+// Put stores the entry under its key and records it as the last key of
+// its (package, analyzer) pair. Both writes are atomic
+// (temp-file-plus-rename), so readers never see a torn object.
+func (s *Store) Put(e *Entry) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("cache: encoding %s/%s: %v", e.ImportPath, e.Check, err)
+	}
+	if err := writeAtomic(s.objectPath(e.Key), data); err != nil {
+		return fmt.Errorf("cache: %v", err)
+	}
+	if err := writeAtomic(s.indexPath(e.ImportPath, e.Check), []byte(e.Key)); err != nil {
+		return fmt.Errorf("cache: %v", err)
+	}
+	return nil
+}
+
+// LastKey reports the most recent key written for (package, analyzer),
+// letting the driver count an entry that exists under a *different*
+// key as invalidated rather than cold.
+func (s *Store) LastKey(importPath, check string) (string, bool) {
+	data, err := os.ReadFile(s.indexPath(importPath, check))
+	if err != nil || len(data) == 0 {
+		return "", false
+	}
+	return string(data), true
+}
+
+// writeAtomic publishes data at path via a same-directory temp file and
+// rename.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

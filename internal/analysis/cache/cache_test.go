@@ -1,0 +1,157 @@
+package cache_test
+
+import (
+	"bytes"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"temporaldoc/internal/analysis/cache"
+	"temporaldoc/internal/analysis/facts"
+)
+
+func openStore(t *testing.T) *cache.Store {
+	t.Helper()
+	s, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func sampleEntry() *cache.Entry {
+	return &cache.Entry{
+		Key:        "k123",
+		ImportPath: "mod/p",
+		Check:      "purity",
+		Facts:      []byte(`{"f":"blob"}`),
+		Diags: []cache.Diag{
+			{Check: "purity", File: "p/p.go", Line: 3, Col: 7, Message: "m", Suppressed: true},
+		},
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openStore(t)
+	want := sampleEntry()
+	if err := s.Put(want); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := s.Get(want.Key, want.ImportPath, want.Check)
+	if !ok {
+		t.Fatal("Get missed a just-written entry")
+	}
+	if !bytes.Equal(got.Facts, want.Facts) {
+		t.Errorf("Facts = %s, want %s", got.Facts, want.Facts)
+	}
+	if len(got.Diags) != 1 || got.Diags[0] != want.Diags[0] {
+		t.Errorf("Diags = %+v, want %+v", got.Diags, want.Diags)
+	}
+	if key, ok := s.LastKey(want.ImportPath, want.Check); !ok || key != want.Key {
+		t.Errorf("LastKey = %q, %v; want %q, true", key, ok, want.Key)
+	}
+}
+
+// TestGetValidatesIdentity: an entry found under the right key but
+// recording a different package or check is a miss (hand-edited or
+// colliding stores must not leak wrong results).
+func TestGetValidatesIdentity(t *testing.T) {
+	s := openStore(t)
+	if err := s.Put(sampleEntry()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k123", "mod/other", "purity"); ok {
+		t.Error("Get hit with a mismatched import path")
+	}
+	if _, ok := s.Get("k123", "mod/p", "determinism"); ok {
+		t.Error("Get hit with a mismatched check")
+	}
+	if _, ok := s.Get("nope", "mod/p", "purity"); ok {
+		t.Error("Get hit a never-written key")
+	}
+}
+
+// TestCorruptObjectIsMiss: undecodable objects behave exactly like
+// absent ones.
+func TestCorruptObjectIsMiss(t *testing.T) {
+	s := openStore(t)
+	e := sampleEntry()
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	var clobbered bool
+	err := filepath.WalkDir(filepath.Join(s.Dir(), "o"), func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		clobbered = true
+		return os.WriteFile(path, []byte("{torn"), 0o644)
+	})
+	if err != nil || !clobbered {
+		t.Fatalf("clobbering objects: err=%v clobbered=%v", err, clobbered)
+	}
+	if _, ok := s.Get(e.Key, e.ImportPath, e.Check); ok {
+		t.Error("Get returned a corrupt entry")
+	}
+	// The advisory index survives — that is what distinguishes a stale
+	// entry from a cold one in the driver's stats.
+	if key, ok := s.LastKey(e.ImportPath, e.Check); !ok || key != e.Key {
+		t.Errorf("LastKey after corruption = %q, %v; want %q, true", key, ok, e.Key)
+	}
+}
+
+// TestFactBlobFileRoundTrip: a sealed facts blob survives the full
+// disk round trip — Store.Export → cache entry → Get → facts.Import —
+// which is the path a warm run's cross-package reads take.
+func TestFactBlobFileRoundTrip(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", "package p\nfunc A() {}\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{Defs: map[*ast.Ident]types.Object{}}
+	pkg, err := (&types.Config{Importer: importer.Default()}).Check("fix/p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fn *types.Func
+	for _, obj := range info.Defs {
+		if tf, ok := obj.(*types.Func); ok && tf.Name() == "A" {
+			fn = tf
+		}
+	}
+	if fn == nil {
+		t.Fatal("fixture func not found")
+	}
+	_ = pkg
+
+	src := facts.NewStore()
+	if err := src.Begin("fix/p"); err != nil {
+		t.Fatal(err)
+	}
+	src.Put(fn, "unseeded", "rand.New at p.go:2 seeded from time.Now")
+	if err := src.Seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := openStore(t)
+	if err := s.Put(&cache.Entry{Key: "k", ImportPath: "fix/p", Check: "seedflow", Facts: src.Export("fix/p")}); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := s.Get("k", "fix/p", "seedflow")
+	if !ok {
+		t.Fatal("entry missed")
+	}
+	dst := facts.NewStore()
+	if err := dst.Import("fix/p", e.Facts); err != nil {
+		t.Fatalf("Import of round-tripped blob: %v", err)
+	}
+	if d, ok := dst.Get(facts.FuncID(fn), "unseeded"); !ok || d != "rand.New at p.go:2 seeded from time.Now" {
+		t.Fatalf("round-tripped fact = %q, %v", d, ok)
+	}
+}

@@ -1,0 +1,240 @@
+package driver_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"temporaldoc/internal/analysis"
+	"temporaldoc/internal/analysis/analyzers"
+	"temporaldoc/internal/analysis/driver"
+)
+
+// copyFixture clones the drvfix module into a temp dir so tests can
+// edit sources without touching the checked-in fixtures.
+func copyFixture(t *testing.T) string {
+	t.Helper()
+	src := filepath.Join("testdata", "src")
+	dst := t.TempDir()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copying fixture module: %v", err)
+	}
+	return dst
+}
+
+// cacheSuite pairs an intraprocedural analyzer with an interprocedural
+// one, so warm runs exercise both cached diagnostics and cached fact
+// blobs (cacheb's purity finding needs cachea's sealed facts).
+func cacheSuite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		analyzers.Determinism(),
+		analyzers.Purity([]string{"cacheb.Train"}, nil),
+	}
+}
+
+// renderFull renders findings with their suppression state, so
+// byte-identity comparisons cover everything an output mode can see.
+func renderFull(findings []driver.Finding) string {
+	var sb strings.Builder
+	for _, f := range findings {
+		sb.WriteString(f.String())
+		if f.Suppression != "" {
+			sb.WriteString(" (" + f.Suppression + ")")
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func runCached(t *testing.T, dir, cacheDir string, suite []*analysis.Analyzer, jobs int) ([]driver.Finding, *driver.Stats) {
+	t.Helper()
+	stats := driver.NewStats()
+	findings, err := driver.RunCached(dir, []string{"./..."}, suite, driver.Options{
+		CacheDir:          cacheDir,
+		IncludeSuppressed: true,
+		Jobs:              jobs,
+		Stats:             stats,
+	})
+	if err != nil {
+		t.Fatalf("RunCached: %v", err)
+	}
+	return findings, stats
+}
+
+func assertCounters(t *testing.T, stats *driver.Stats, wantHits, wantMisses, wantInvalidated int, context string) {
+	t.Helper()
+	hits, misses, invalidated, used := stats.Cache()
+	if !used {
+		t.Fatalf("%s: cache not consulted", context)
+	}
+	if hits != wantHits || misses != wantMisses || invalidated != wantInvalidated {
+		t.Fatalf("%s: cache counters hits=%d misses=%d invalidated=%d, want %d/%d/%d",
+			context, hits, misses, invalidated, wantHits, wantMisses, wantInvalidated)
+	}
+}
+
+// TestCacheColdWarmIdentity: a cold cached run, a warm one, an
+// uncached one and every -jobs variant must produce byte-identical
+// findings; the warm run must be all hits. The fixture has 4 packages
+// and the suite 2 analyzers: 8 cacheable units.
+func TestCacheColdWarmIdentity(t *testing.T) {
+	dir := copyFixture(t)
+	cacheDir := t.TempDir()
+
+	uncached, stats := runCached(t, dir, "", cacheSuite(), 0)
+	if _, _, _, used := stats.Cache(); used {
+		t.Fatalf("empty CacheDir must not consult a cache")
+	}
+	want := renderFull(uncached)
+	if !strings.Contains(want, "[purity]") {
+		t.Fatalf("fixture lost its cross-package purity finding:\n%s", want)
+	}
+
+	cold, stats := runCached(t, dir, cacheDir, cacheSuite(), 0)
+	assertCounters(t, stats, 0, 8, 0, "cold")
+	if got := renderFull(cold); got != want {
+		t.Fatalf("cold cached findings differ from uncached:\n--- uncached\n%s--- cold\n%s", want, got)
+	}
+
+	for _, jobs := range []int{1, 8} {
+		warm, stats := runCached(t, dir, cacheDir, cacheSuite(), jobs)
+		assertCounters(t, stats, 8, 0, 0, "warm")
+		if got := renderFull(warm); got != want {
+			t.Fatalf("warm findings (jobs=%d) differ:\n--- uncached\n%s--- warm\n%s", jobs, want, got)
+		}
+	}
+}
+
+// TestCacheColdParallelWarmSerial: populating the cache at -jobs 8 and
+// reading it back at -jobs 1 (and vice versa) must not change a byte —
+// the determinism guarantee across scheduling.
+func TestCacheColdParallelWarmSerial(t *testing.T) {
+	dir := copyFixture(t)
+	cacheDir := t.TempDir()
+
+	cold, _ := runCached(t, dir, cacheDir, cacheSuite(), 8)
+	warm, stats := runCached(t, dir, cacheDir, cacheSuite(), 1)
+	assertCounters(t, stats, 8, 0, 0, "warm jobs=1 after cold jobs=8")
+	if renderFull(cold) != renderFull(warm) {
+		t.Fatalf("findings drifted across jobs/cache states:\n--- cold jobs=8\n%s--- warm jobs=1\n%s",
+			renderFull(cold), renderFull(warm))
+	}
+}
+
+// TestCacheEditInvalidatesDependents: editing the leaf package must
+// invalidate its own units and its importer's — and nothing else —
+// while leaving the findings untouched (the edit is a trailing
+// comment).
+func TestCacheEditInvalidatesDependents(t *testing.T) {
+	dir := copyFixture(t)
+	cacheDir := t.TempDir()
+
+	cold, _ := runCached(t, dir, cacheDir, cacheSuite(), 0)
+	f, err := os.OpenFile(filepath.Join(dir, "cachea", "cachea.go"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("\n// touched: invalidates cachea and its importer cacheb\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	after, stats := runCached(t, dir, cacheDir, cacheSuite(), 0)
+	// cachea and cacheb recompute under both analyzers (4 units, each
+	// with a stale predecessor entry → invalidated); suppress and
+	// concfix stay warm (4 hits).
+	assertCounters(t, stats, 4, 0, 4, "after leaf edit")
+	if renderFull(cold) != renderFull(after) {
+		t.Fatalf("comment-only edit changed findings:\n--- before\n%s--- after\n%s",
+			renderFull(cold), renderFull(after))
+	}
+
+	warm, stats := runCached(t, dir, cacheDir, cacheSuite(), 0)
+	assertCounters(t, stats, 8, 0, 0, "re-warm after edit")
+	if renderFull(warm) != renderFull(after) {
+		t.Fatalf("re-warmed findings differ from the run that wrote them")
+	}
+}
+
+// TestCacheVersionBump: bumping one analyzer's version must recompute
+// only that analyzer's units; the other analyzer stays fully warm.
+func TestCacheVersionBump(t *testing.T) {
+	dir := copyFixture(t)
+	cacheDir := t.TempDir()
+
+	before, _ := runCached(t, dir, cacheDir, cacheSuite(), 0)
+
+	bumped := cacheSuite()
+	bumped[0].Version = bumped[0].Version + "-test-bump"
+	after, stats := runCached(t, dir, cacheDir, bumped, 0)
+	// 4 determinism units invalidated (version changed under an existing
+	// index entry), 4 purity units still hit.
+	assertCounters(t, stats, 4, 0, 4, "after version bump")
+	if renderFull(before) != renderFull(after) {
+		t.Fatalf("version bump changed findings:\n--- before\n%s--- after\n%s",
+			renderFull(before), renderFull(after))
+	}
+
+	warm, stats := runCached(t, dir, cacheDir, bumped, 0)
+	assertCounters(t, stats, 8, 0, 0, "re-warm after bump")
+	if renderFull(warm) != renderFull(after) {
+		t.Fatalf("re-warmed findings differ after version bump")
+	}
+}
+
+// TestCacheCorruptionIsMiss: clobbering every cached object must
+// degrade to a silent full recompute — same findings, no error — and
+// the rewritten entries must serve the next run.
+func TestCacheCorruptionIsMiss(t *testing.T) {
+	dir := copyFixture(t)
+	cacheDir := t.TempDir()
+
+	cold, _ := runCached(t, dir, cacheDir, cacheSuite(), 0)
+	var corrupted int
+	err := filepath.WalkDir(filepath.Join(cacheDir, "o"), func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		corrupted++
+		return os.WriteFile(path, []byte("{not json"), 0o644)
+	})
+	if err != nil {
+		t.Fatalf("corrupting cache: %v", err)
+	}
+	if corrupted == 0 {
+		t.Fatal("cold run wrote no cache objects")
+	}
+
+	after, stats := runCached(t, dir, cacheDir, cacheSuite(), 0)
+	// The index still names the right keys, so these are plain misses
+	// (the object is unreadable), not invalidations.
+	assertCounters(t, stats, 0, 8, 0, "after corruption")
+	if renderFull(cold) != renderFull(after) {
+		t.Fatalf("corrupted cache changed findings:\n--- before\n%s--- after\n%s",
+			renderFull(cold), renderFull(after))
+	}
+
+	_, stats = runCached(t, dir, cacheDir, cacheSuite(), 0)
+	assertCounters(t, stats, 8, 0, 0, "re-warm after corruption")
+}

@@ -11,6 +11,12 @@
 // in dependency order, sealing every package's facts into a serialized
 // blob before its importers run — the same shape in which the loader
 // shares compiled export data. Only then do the reporting passes run.
+//
+// RunCached adds the incremental layer on top: every (package,
+// analyzer) pair is addressed by a content hash of its inputs (see
+// keys.go), and pairs whose hash is already in the cache skip both
+// phases — their sealed fact blobs and diagnostics load from disk.
+// Packages for which every selected analyzer hits are not even parsed.
 package driver
 
 import (
@@ -25,6 +31,7 @@ import (
 	"time"
 
 	"temporaldoc/internal/analysis"
+	"temporaldoc/internal/analysis/cache"
 	"temporaldoc/internal/analysis/callgraph"
 	"temporaldoc/internal/analysis/facts"
 	"temporaldoc/internal/analysis/load"
@@ -53,46 +60,117 @@ type Options struct {
 	Jobs int
 	// Stats, when non-nil, accumulates per-analyzer wall time across all
 	// phases and packages (cumulative over workers, so it reads as CPU
-	// time once packages run in parallel).
+	// time once packages run in parallel) plus the cache hit/miss
+	// counters.
 	Stats *Stats
+	// CacheDir roots the incremental analysis cache for RunCached;
+	// empty disables caching (Run ignores it entirely).
+	CacheDir string
 }
 
-// Stats accumulates per-analyzer time. Safe for concurrent use.
+// Stats accumulates per-analyzer time, split by phase so a cache hit's
+// saving is attributable (facts phases dominate for the
+// interprocedural analyzers), plus the incremental cache's counters.
+// Safe for concurrent use.
 type Stats struct {
-	mu  sync.Mutex
-	dur map[string]time.Duration
+	mu    sync.Mutex
+	facts map[string]time.Duration
+	run   map[string]time.Duration
+
+	hits, misses, invalidated int
+	cacheUsed                 bool
 }
 
 // NewStats returns an empty accumulator.
-func NewStats() *Stats { return &Stats{dur: map[string]time.Duration{}} }
+func NewStats() *Stats {
+	return &Stats{facts: map[string]time.Duration{}, run: map[string]time.Duration{}}
+}
 
-func (s *Stats) add(name string, d time.Duration) {
+func (s *Stats) addFacts(name string, d time.Duration) {
 	if s == nil {
 		return
 	}
 	s.mu.Lock()
-	s.dur[name] += d
+	s.facts[name] += d
 	s.mu.Unlock()
 }
 
-// Table renders one "analyzer<tab>duration" row per analyzer, slowest
-// first (ties by name), for the -v timing report.
+func (s *Stats) addRun(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.run[name] += d
+	s.mu.Unlock()
+}
+
+// countCache records one (package, analyzer) cache consultation.
+func (s *Stats) countCache(hit, invalidated bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.cacheUsed = true
+	switch {
+	case hit:
+		s.hits++
+	case invalidated:
+		s.invalidated++
+	default:
+		s.misses++
+	}
+	s.mu.Unlock()
+}
+
+// Cache returns the hit/miss/invalidated counters and whether a cache
+// was consulted at all. Invalidated units are misses that had an entry
+// under a different action key — stale, not cold.
+func (s *Stats) Cache() (hits, misses, invalidated int, used bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses, s.invalidated, s.cacheUsed
+}
+
+// CacheLine renders the counters as the one-line summary -v prints
+// ("" when no cache was consulted). The key=value shape is parsed by
+// scripts/lint_warm_smoke.sh.
+func (s *Stats) CacheLine() string {
+	hits, misses, invalidated, used := s.Cache()
+	if !used {
+		return ""
+	}
+	return fmt.Sprintf("cache: hits=%d misses=%d invalidated=%d", hits, misses, invalidated)
+}
+
+// Table renders one "analyzer facts run total" row per analyzer,
+// slowest total first (ties by name), for the -v timing report.
 func (s *Stats) Table() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	names := make([]string, 0, len(s.dur))
-	for n := range s.dur {
-		names = append(names, n)
+	names := map[string]bool{}
+	for n := range s.facts {
+		names[n] = true
 	}
-	sort.Slice(names, func(i, j int) bool {
-		if s.dur[names[i]] != s.dur[names[j]] {
-			return s.dur[names[i]] > s.dur[names[j]]
+	for n := range s.run {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	total := func(n string) time.Duration { return s.facts[n] + s.run[n] }
+	sort.Slice(sorted, func(i, j int) bool {
+		if total(sorted[i]) != total(sorted[j]) {
+			return total(sorted[i]) > total(sorted[j])
 		}
-		return names[i] < names[j]
+		return sorted[i] < sorted[j]
 	})
 	var b strings.Builder
-	for _, n := range names {
-		fmt.Fprintf(&b, "%-16s %v\n", n, s.dur[n].Round(time.Microsecond))
+	fmt.Fprintf(&b, "%-16s %12s %12s %12s\n", "analyzer", "facts", "run", "total")
+	for _, n := range sorted {
+		fmt.Fprintf(&b, "%-16s %12v %12v %12v\n", n,
+			s.facts[n].Round(time.Microsecond), s.run[n].Round(time.Microsecond),
+			total(n).Round(time.Microsecond))
 	}
 	return b.String()
 }
@@ -153,6 +231,34 @@ func (f Finding) JSON() ([]byte, error) {
 	})
 }
 
+// suppressCheck is the pseudo-check name the per-package suppression
+// scan (directive index + lintdirective findings) is cached under.
+const suppressCheck = "#suppress"
+
+// pkgPlan is one target package's cache verdict: the action key per
+// check and the entries that hit. A package whose every selected check
+// (and suppression scan) hit is never parsed; a partially hit package
+// is loaded but only its missing checks run.
+type pkgPlan struct {
+	meta *load.MetaPkg
+	// keys maps check name → action key ("" marks an uncacheable
+	// package: results are computed live and never written).
+	keys map[string]string
+	// hits maps check name → the cached entry.
+	hits map[string]*cache.Entry
+	// loaded records whether the package was parsed this run.
+	loaded bool
+}
+
+// cacheContext carries the incremental state through one RunCached
+// execution; nil means caching is off.
+type cacheContext struct {
+	store     *cache.Store
+	moduleDir string
+	// plans covers every target package, keyed by import path.
+	plans map[string]*pkgPlan
+}
+
 // Run applies the analyzers to every loaded package and returns the
 // findings that survive suppressions, path excludes and the baseline
 // (all findings, suppressed ones marked, under IncludeSuppressed),
@@ -164,6 +270,14 @@ func Run(res *load.Result, analyzers []*analysis.Analyzer, opts Options) ([]Find
 	if err != nil {
 		return nil, err
 	}
+	return execute(res, selected, opts, nil)
+}
+
+// execute is the shared core of Run and RunCached: analyze the loaded
+// packages (honoring the cache plans when cc is non-nil), merge in
+// cached diagnostics, and resolve suppressions, excludes and the
+// baseline.
+func execute(res *load.Result, selected []*analysis.Analyzer, opts Options, cc *cacheContext) ([]Finding, error) {
 	var mu sync.Mutex
 	var diags []analysis.Diagnostic
 	report := func(d analysis.Diagnostic) {
@@ -174,7 +288,8 @@ func Run(res *load.Result, analyzers []*analysis.Analyzer, opts Options) ([]Find
 
 	// Interprocedural context: the call graph is shared; each analyzer
 	// with a facts phase gets its own store, filled package by package
-	// in dependency order and sealed before importers read it.
+	// in dependency order and sealed before importers read it. Cached
+	// packages contribute their sealed blobs straight from disk.
 	graph := buildGraph(res)
 	order := load.DependencyOrder(res.Packages)
 	stores := map[string]*facts.Store{}
@@ -183,24 +298,46 @@ func Run(res *load.Result, analyzers []*analysis.Analyzer, opts Options) ([]Find
 			stores[a.Name] = facts.NewStore()
 		}
 	}
+	if cc != nil {
+		for _, path := range sortedPlanPaths(cc.plans) {
+			plan := cc.plans[path]
+			for _, a := range selected {
+				if a.Facts == nil {
+					continue
+				}
+				if e, ok := plan.hits[a.Name]; ok && len(e.Facts) > 0 {
+					if err := stores[a.Name].Import(path, e.Facts); err != nil {
+						return nil, fmt.Errorf("%s: %v", a.Name, err)
+					}
+				}
+			}
+		}
+	}
 
 	// Suppression directives index before any analysis, so malformed
-	// directives report deterministically regardless of scheduling.
+	// directives report deterministically regardless of scheduling. The
+	// per-package lintdirective findings are kept addressable so cache
+	// entries can carry them.
 	sup := newSuppressions()
+	dirDiags := map[string][]analysis.Diagnostic{}
 	for _, pkg := range res.Packages {
 		for _, f := range pkg.Files {
-			sup.indexFile(res.Fset, f, report)
+			sup.indexFile(res.Fset, f, func(d analysis.Diagnostic) {
+				dirDiags[pkg.ImportPath] = append(dirDiags[pkg.ImportPath], d)
+				report(d)
+			})
 		}
 	}
 
 	// Packages are analyzed level by level: a package's level is one
 	// past the deepest of its in-set imports, so everything a package's
 	// facts or run phase reads — its imports' sealed blobs — was sealed
-	// at an earlier level, and packages within a level are mutually
-	// independent and run concurrently. Each worker runs one package end
-	// to end (every facts phase in its own store view, sealed, then
-	// every run phase), which keeps the facts-before-importers invariant
-	// without a global barrier between the phases.
+	// at an earlier level (or imported from cache before the levels
+	// started), and packages within a level are mutually independent and
+	// run concurrently. Each worker runs one package end to end (every
+	// facts phase in its own store view, sealed, then every run phase),
+	// which keeps the facts-before-importers invariant without a global
+	// barrier between the phases.
 	jobs := opts.Jobs
 	if jobs <= 0 {
 		jobs = runtime.NumCPU()
@@ -215,7 +352,7 @@ func Run(res *load.Result, analyzers []*analysis.Analyzer, opts Options) ([]Find
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				errs[i] = analyzePackage(res, graph, stores, selected, opts.Stats, report, pkg)
+				errs[i] = analyzePackage(res, graph, stores, selected, opts.Stats, report, sup, cc, dirDiags[pkg.ImportPath], pkg)
 			}(i, pkg)
 		}
 		wg.Wait()
@@ -241,6 +378,9 @@ func Run(res *load.Result, analyzers []*analysis.Analyzer, opts Options) ([]Find
 			continue
 		}
 		findings = append(findings, f)
+	}
+	if cc != nil {
+		findings = append(findings, cachedFindings(cc, selected, opts)...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -274,6 +414,57 @@ func Run(res *load.Result, analyzers []*analysis.Analyzer, opts Options) ([]Find
 	return base.apply(findings, opts.IncludeSuppressed), nil
 }
 
+// cachedFindings materializes the diagnostics of every cache hit:
+// analyzer entries for skipped pairs, plus the suppression
+// pseudo-entry's lintdirective findings for packages that were never
+// parsed (parsed packages re-indexed their directives live). In-source
+// suppression state comes baked into the entry; path excludes apply
+// fresh.
+func cachedFindings(cc *cacheContext, selected []*analysis.Analyzer, opts Options) []Finding {
+	var out []Finding
+	for _, path := range sortedPlanPaths(cc.plans) {
+		plan := cc.plans[path]
+		for _, a := range selected {
+			if e, ok := plan.hits[a.Name]; ok {
+				out = append(out, entryFindings(cc, e, opts)...)
+			}
+		}
+		if !plan.loaded {
+			if e, ok := plan.hits[suppressCheck]; ok {
+				out = append(out, entryFindings(cc, e, opts)...)
+			}
+		}
+	}
+	return out
+}
+
+// entryFindings converts one cache entry's diagnostics to findings.
+func entryFindings(cc *cacheContext, e *cache.Entry, opts Options) []Finding {
+	var out []Finding
+	for _, d := range e.Diags {
+		f := Finding{
+			Diagnostic: analysis.Diagnostic{Check: d.Check, Message: d.Message},
+			Position: token.Position{
+				Filename: filepath.Join(cc.moduleDir, filepath.FromSlash(d.File)),
+				Line:     d.Line,
+				Column:   d.Col,
+			},
+			RelPath: d.File,
+		}
+		switch {
+		case d.Suppressed:
+			f.Suppression = SuppressedIgnore
+		case excluded(opts.Exclude[d.Check], d.File):
+			f.Suppression = SuppressedExclude
+		}
+		if !f.Active() && !opts.IncludeSuppressed {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
 // active filters to the findings that still gate the build.
 func active(findings []Finding) []Finding {
 	var out []Finding
@@ -288,22 +479,46 @@ func active(findings []Finding) []Finding {
 // analyzePackage runs every selected analyzer over one package: facts
 // phases first (each in a fresh view of its analyzer's store, sealed
 // immediately), then run phases reading through the sealed blobs.
+// Analyzers whose cache entry hit are skipped entirely — their sealed
+// blob was imported up front and their diagnostics merge in from the
+// entry. Freshly computed (package, analyzer) results are written back
+// to the cache, suppression state resolved, so the next run can skip
+// them.
 func analyzePackage(res *load.Result, graph *callgraph.Graph, stores map[string]*facts.Store,
-	selected []*analysis.Analyzer, stats *Stats, report func(analysis.Diagnostic), pkg *load.Package) error {
+	selected []*analysis.Analyzer, stats *Stats, report func(analysis.Diagnostic),
+	sup *suppressions, cc *cacheContext, pkgDirDiags []analysis.Diagnostic, pkg *load.Package) error {
+	var plan *pkgPlan
+	if cc != nil {
+		plan = cc.plans[pkg.ImportPath]
+	}
+	skip := func(a *analysis.Analyzer) bool {
+		if plan == nil {
+			return false
+		}
+		_, ok := plan.hits[a.Name]
+		return ok
+	}
+	local := map[string][]analysis.Diagnostic{}
+	capture := func(name string) func(analysis.Diagnostic) {
+		return func(d analysis.Diagnostic) {
+			local[name] = append(local[name], d)
+			report(d)
+		}
+	}
 	for _, a := range selected {
-		if a.Facts == nil {
+		if a.Facts == nil || skip(a) {
 			continue
 		}
 		view := stores[a.Name].View()
 		if err := view.Begin(pkg.ImportPath); err != nil {
 			return fmt.Errorf("%s: %v", a.Name, err)
 		}
-		pass := analysis.NewPass(a, res.Fset, pkg.Files, pkg.Types, pkg.Info, report)
+		pass := analysis.NewPass(a, res.Fset, pkg.Files, pkg.Types, pkg.Info, capture(a.Name))
 		pass.Graph = graph
 		pass.Facts = view
 		t0 := time.Now()
 		err := a.Facts(pass)
-		stats.add(a.Name, time.Since(t0))
+		stats.addFacts(a.Name, time.Since(t0))
 		if err != nil {
 			return fmt.Errorf("%s: facts: %s: %v", a.Name, pkg.ImportPath, err)
 		}
@@ -312,17 +527,74 @@ func analyzePackage(res *load.Result, graph *callgraph.Graph, stores map[string]
 		}
 	}
 	for _, a := range selected {
-		pass := analysis.NewPass(a, res.Fset, pkg.Files, pkg.Types, pkg.Info, report)
+		if skip(a) {
+			continue
+		}
+		pass := analysis.NewPass(a, res.Fset, pkg.Files, pkg.Types, pkg.Info, capture(a.Name))
 		pass.Graph = graph
 		pass.Facts = stores[a.Name]
 		t0 := time.Now()
 		err := a.Run(pass)
-		stats.add(a.Name, time.Since(t0))
+		stats.addRun(a.Name, time.Since(t0))
 		if err != nil {
 			return fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
 		}
 	}
+	if plan != nil {
+		writeEntries(res, stores, selected, sup, cc, plan, local, pkgDirDiags, pkg)
+	}
 	return nil
+}
+
+// writeEntries persists the freshly computed results of one package:
+// one entry per missed analyzer (fact blob + diagnostics) and the
+// suppression pseudo-entry (lintdirective findings). Write failures
+// are deliberately swallowed — a read-only or full cache directory
+// degrades to uncached operation, it does not fail the lint gate.
+func writeEntries(res *load.Result, stores map[string]*facts.Store, selected []*analysis.Analyzer,
+	sup *suppressions, cc *cacheContext, plan *pkgPlan,
+	local map[string][]analysis.Diagnostic, pkgDirDiags []analysis.Diagnostic, pkg *load.Package) {
+	put := func(check, key string, factBlob []byte, ds []analysis.Diagnostic) {
+		if key == "" {
+			return
+		}
+		e := &cache.Entry{Key: key, ImportPath: pkg.ImportPath, Check: check, Facts: factBlob}
+		for _, d := range ds {
+			pos := d.Position(res.Fset)
+			e.Diags = append(e.Diags, cache.Diag{
+				Check:      d.Check,
+				File:       relPath(res.ModuleDir, pos.Filename),
+				Line:       pos.Line,
+				Col:        pos.Column,
+				Message:    d.Message,
+				Suppressed: sup.suppressed(d.Check, pos),
+			})
+		}
+		_ = cc.store.Put(e)
+	}
+	for _, a := range selected {
+		if _, hit := plan.hits[a.Name]; hit {
+			continue
+		}
+		var blob []byte
+		if a.Facts != nil {
+			blob = stores[a.Name].Export(pkg.ImportPath)
+		}
+		put(a.Name, plan.keys[a.Name], blob, local[a.Name])
+	}
+	if _, hit := plan.hits[suppressCheck]; !hit {
+		put(suppressCheck, plan.keys[suppressCheck], nil, pkgDirDiags)
+	}
+}
+
+// sortedPlanPaths returns the plan keys in deterministic order.
+func sortedPlanPaths(plans map[string]*pkgPlan) []string {
+	paths := make([]string, 0, len(plans))
+	for p := range plans {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
 }
 
 // dependencyLevels slices a topologically ordered package list into

@@ -1,0 +1,311 @@
+// Action-key computation for the incremental cache (see package cache
+// for the store itself).
+//
+// The key of a (package, analyzer) pair is a content hash over
+// everything that can influence the analyzer's sealed output on that
+// package:
+//
+//	key(P, X) = H(env, X.name, X.version, X.config, base(P),
+//	             key(D, X) for in-set direct imports D, sorted,
+//	             H(export data of D) for out-of-set direct imports D, sorted)
+//
+//	base(P)   = H(P.importPath, (name, H(bytes)) per source file)
+//	env       = H(engineVersion, go version, GOOS, GOARCH, go.mod bytes)
+//
+// In-set imports (other analyzed packages) contribute their own action
+// keys, so an edit anywhere in a package invalidates exactly its own
+// entries and its transitive dependents' — nothing else. Out-of-set
+// imports contribute the hash of their compiled export data, which is
+// precisely the artifact analysis reads for them. The analyzer's
+// version string makes a semantics change a per-analyzer invalidation;
+// the engine version covers driver/facts/callgraph semantics shared by
+// all analyzers.
+//
+// A package whose inputs cannot be hashed (unreadable source, missing
+// export data) gets the empty key: it is analyzed live every run and
+// its results are never cached. The empty key also poisons dependents,
+// since their inputs are then not fully accounted for.
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"hash"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+
+	"temporaldoc/internal/analysis"
+	"temporaldoc/internal/analysis/cache"
+	"temporaldoc/internal/analysis/load"
+)
+
+// engineVersion invalidates every cache entry when the semantics shared
+// by all analyzers change: the driver's phase orchestration, the facts
+// blob encoding, call-graph construction, or the cached-entry schema.
+// Bump it on any such change.
+const engineVersion = "tdlint-engine-1"
+
+// keyer computes action keys for one listed package set, memoizing the
+// per-package pieces shared by every analyzer.
+type keyer struct {
+	meta    *load.Meta
+	envHash string
+	base    map[string]string // import path → source hash, "" = unhashable
+	export  map[string]string // import path → export-data hash, "" = unhashable
+}
+
+func newKeyer(meta *load.Meta) *keyer {
+	k := &keyer{
+		meta:   meta,
+		base:   make(map[string]string, len(meta.Targets)),
+		export: map[string]string{},
+	}
+	h := sha256.New()
+	hashField(h, engineVersion)
+	hashField(h, runtime.Version())
+	hashField(h, runtime.GOOS)
+	hashField(h, runtime.GOARCH)
+	// go.mod pins the module graph; dependency *content* is covered by
+	// export-data hashes, so an unreadable go.mod degrades to that.
+	gomod, _ := os.ReadFile(filepath.Join(meta.ModuleDir, "go.mod"))
+	_, _ = h.Write(gomod)
+	k.envHash = hex.EncodeToString(h.Sum(nil))
+	return k
+}
+
+// hashField writes one length-delimited field, so adjacent fields can
+// never alias ("ab"+"c" vs "a"+"bc").
+func hashField(h hash.Hash, s string) {
+	var n [8]byte
+	for i, v := 0, uint64(len(s)); i < 8; i++ {
+		n[i] = byte(v >> (8 * i))
+	}
+	_, _ = h.Write(n[:])
+	_, _ = io.WriteString(h, s)
+}
+
+// baseHash hashes a target package's identity and source bytes.
+func (k *keyer) baseHash(p *load.MetaPkg) string {
+	if b, ok := k.base[p.ImportPath]; ok {
+		return b
+	}
+	h := sha256.New()
+	hashField(h, p.ImportPath)
+	for _, name := range p.GoFiles {
+		data, err := os.ReadFile(filepath.Join(p.Dir, name))
+		if err != nil {
+			k.base[p.ImportPath] = ""
+			return ""
+		}
+		sum := sha256.Sum256(data)
+		hashField(h, name)
+		hashField(h, hex.EncodeToString(sum[:]))
+	}
+	b := hex.EncodeToString(h.Sum(nil))
+	k.base[p.ImportPath] = b
+	return b
+}
+
+// exportHash hashes an out-of-set dependency's compiled export data —
+// the exact artifact type-checking reads for it.
+func (k *keyer) exportHash(path string) string {
+	if e, ok := k.export[path]; ok {
+		return e
+	}
+	p := k.meta.Pkgs[path]
+	if p == nil || p.Export == "" {
+		k.export[path] = ""
+		return ""
+	}
+	f, err := os.Open(p.Export)
+	if err != nil {
+		k.export[path] = ""
+		return ""
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		k.export[path] = ""
+		return ""
+	}
+	e := hex.EncodeToString(h.Sum(nil))
+	k.export[path] = e
+	return e
+}
+
+// isTarget reports whether path is one of the analyzed packages (whose
+// key recursion uses action keys rather than export data).
+func (k *keyer) isTarget(path string) bool {
+	p := k.meta.Pkgs[path]
+	return p != nil && p.Main && len(p.GoFiles) > 0
+}
+
+// analyzerKeys computes key(P, a) for every target P. An empty string
+// marks an uncacheable package.
+func (k *keyer) analyzerKeys(a *analysis.Analyzer) map[string]string {
+	keys := make(map[string]string, len(k.meta.Targets))
+	var keyOf func(path string) string
+	keyOf = func(path string) string {
+		if key, ok := keys[path]; ok {
+			return key
+		}
+		// Pre-mark to terminate on an import cycle (go list should never
+		// produce one; a cycle just renders the packages uncacheable).
+		keys[path] = ""
+		p := k.meta.Pkgs[path]
+		base := k.baseHash(p)
+		if base == "" {
+			return ""
+		}
+		h := sha256.New()
+		hashField(h, k.envHash)
+		hashField(h, a.Name)
+		hashField(h, a.Version)
+		hashField(h, a.Config)
+		hashField(h, base)
+		for _, imp := range sortedImports(p) {
+			if imp == "C" || imp == "unsafe" {
+				hashField(h, "dep:"+imp)
+				continue
+			}
+			var dep string
+			if k.isTarget(imp) {
+				dep = keyOf(imp)
+			} else {
+				dep = k.exportHash(imp)
+			}
+			if dep == "" {
+				return ""
+			}
+			hashField(h, "dep:"+imp)
+			hashField(h, dep)
+		}
+		key := hex.EncodeToString(h.Sum(nil))
+		keys[path] = key
+		return key
+	}
+	for _, t := range k.meta.Targets {
+		keyOf(t.ImportPath)
+	}
+	return keys
+}
+
+// suppressKey keys the per-package suppression scan. Directives are
+// purely intra-file, so the key needs no dependency inputs — only the
+// sources and the engine fingerprint.
+func (k *keyer) suppressKey(p *load.MetaPkg) string {
+	base := k.baseHash(p)
+	if base == "" {
+		return ""
+	}
+	h := sha256.New()
+	hashField(h, k.envHash)
+	hashField(h, suppressCheck)
+	hashField(h, base)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func sortedImports(p *load.MetaPkg) []string {
+	imps := append([]string(nil), p.Imports...)
+	sort.Strings(imps)
+	return imps
+}
+
+// RunCached is Run with the incremental cache in front: it lists the
+// packages matched by patterns under dir, computes action keys,
+// satisfies what it can from opts.CacheDir, and parses/analyzes only
+// the rest (a package all of whose selected analyzers hit is never
+// parsed). With an empty CacheDir — or a cache directory that cannot
+// be opened — it degrades to exactly Run's behavior. Findings are
+// byte-identical to an uncached run in either case.
+func RunCached(dir string, patterns []string, analyzers []*analysis.Analyzer, opts Options) ([]Finding, error) {
+	selected, err := selectAnalyzers(analyzers, opts.Checks)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := load.List(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	uncached := func() ([]Finding, error) {
+		res, err := meta.Load(nil)
+		if err != nil {
+			return nil, err
+		}
+		return execute(res, selected, opts, nil)
+	}
+	if opts.CacheDir == "" {
+		return uncached()
+	}
+	store, err := cache.Open(opts.CacheDir)
+	if err != nil {
+		// An unusable cache directory must not fail the lint gate.
+		return uncached()
+	}
+
+	plans := make(map[string]*pkgPlan, len(meta.Targets))
+	for _, t := range meta.Targets {
+		plans[t.ImportPath] = &pkgPlan{
+			meta: t,
+			keys: map[string]string{},
+			hits: map[string]*cache.Entry{},
+		}
+	}
+	k := newKeyer(meta)
+	for _, a := range selected {
+		keys := k.analyzerKeys(a)
+		for _, t := range meta.Targets {
+			plan := plans[t.ImportPath]
+			key := keys[t.ImportPath]
+			plan.keys[a.Name] = key
+			if key == "" {
+				opts.Stats.countCache(false, false)
+				continue
+			}
+			if e, ok := store.Get(key, t.ImportPath, a.Name); ok {
+				plan.hits[a.Name] = e
+				opts.Stats.countCache(true, false)
+				continue
+			}
+			last, had := store.LastKey(t.ImportPath, a.Name)
+			opts.Stats.countCache(false, had && last != key)
+		}
+	}
+	// The suppression scan rides along under a pseudo-check; it is not
+	// part of the hit/miss counters (it is bookkeeping, not analysis).
+	for _, t := range meta.Targets {
+		plan := plans[t.ImportPath]
+		key := k.suppressKey(t)
+		plan.keys[suppressCheck] = key
+		if key == "" {
+			continue
+		}
+		if e, ok := store.Get(key, t.ImportPath, suppressCheck); ok {
+			plan.hits[suppressCheck] = e
+		}
+	}
+
+	res, err := meta.Load(func(path string) bool {
+		plan := plans[path]
+		if _, ok := plan.hits[suppressCheck]; !ok {
+			return true
+		}
+		for _, a := range selected {
+			if _, ok := plan.hits[a.Name]; !ok {
+				return true
+			}
+		}
+		return false
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range res.Packages {
+		plans[p.ImportPath].loaded = true
+	}
+	cc := &cacheContext{store: store, moduleDir: meta.ModuleDir, plans: plans}
+	return execute(res, selected, opts, cc)
+}

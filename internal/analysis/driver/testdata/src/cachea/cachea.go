@@ -1,0 +1,18 @@
+// Package cachea is the leaf of the cache-fixture pair: cacheb imports
+// it, so an edit here must invalidate both packages' cache entries
+// while leaving the rest of the module warm.
+package cachea
+
+import "math/rand"
+
+// Mix draws from the process-global Source. The intraprocedural
+// determinism finding is suppressed in-source (keeping the suppression
+// fixtures' counts stable); the impurity still propagates to importers
+// as a sealed purity fact, which is exactly what the cache has to
+// carry for skipped packages.
+func Mix(n int) int {
+	return n + rand.Int() //lint:ignore determinism fixture: impurity source for cross-package fact propagation
+}
+
+// Add is pure.
+func Add(a, b int) int { return a + b }

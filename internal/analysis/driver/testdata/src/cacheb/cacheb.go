@@ -1,0 +1,15 @@
+// Package cacheb sits above cachea in the cache-fixture pair: its
+// purity finding depends on cachea's sealed facts, so a warm run that
+// skips either package must still reproduce it byte-for-byte.
+package cacheb
+
+import "drvfix/cachea"
+
+// Train reaches cachea's impurity across the package boundary; the
+// cache tests configure it as a purity entry point.
+func Train(n int) int {
+	return cachea.Mix(n)
+}
+
+// Pure stays clean.
+func Pure(a int) int { return cachea.Add(a, 1) }

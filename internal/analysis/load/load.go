@@ -5,6 +5,13 @@
 // and type-checks them with go/types against a gc-export-data importer.
 // This is the subset of golang.org/x/tools/go/packages that tdlint
 // needs, without the dependency.
+//
+// Loading is split into two phases so the incremental cache can decide
+// what to parse before paying for it: List fetches the `go list`
+// metadata (file lists, export-data paths, the import graph) and
+// Meta.Load parses and type-checks a chosen subset of the main-module
+// packages. Packages that the driver proves unchanged — their cache
+// action keys hit — are never parsed at all.
 package load
 
 import (
@@ -46,12 +53,44 @@ type Result struct {
 	ModuleDir string
 }
 
+// MetaPkg is the per-package `go list` metadata the cache layer reads:
+// enough to hash a package's inputs (sources, imports, export data)
+// without parsing anything.
+type MetaPkg struct {
+	ImportPath string
+	Dir        string
+	// GoFiles are the non-test sources, relative to Dir.
+	GoFiles []string
+	// Export is the compiled export-data file, when go list produced
+	// one.
+	Export string
+	// Imports are the direct imports, as import paths.
+	Imports []string
+	// Main marks a package of the main module — the analyzed set.
+	Main bool
+}
+
+// Meta is the listed-but-not-yet-loaded view of a pattern set.
+type Meta struct {
+	// ModuleDir is the main module root.
+	ModuleDir string
+	// Pkgs holds every package in the dependency closure, keyed by
+	// import path.
+	Pkgs map[string]*MetaPkg
+	// Targets are the main-module packages with sources — the set a
+	// full load would parse and type-check — sorted by import path.
+	Targets []*MetaPkg
+
+	dir string
+}
+
 // listPkg is the subset of `go list -json` output the loader reads.
 type listPkg struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
 	Export     string
+	Imports    []string
 	Standard   bool
 	Module     *struct {
 		Path string
@@ -65,7 +104,7 @@ type listPkg struct {
 func goList(dir string, patterns []string) ([]listPkg, error) {
 	args := []string{
 		"list", "-e", "-export", "-deps",
-		"-json=ImportPath,Dir,GoFiles,Export,Standard,Module,Error",
+		"-json=ImportPath,Dir,GoFiles,Export,Imports,Standard,Module,Error",
 	}
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
@@ -132,35 +171,55 @@ func NewInfo() *types.Info {
 	}
 }
 
-// Packages loads, parses and type-checks the main-module packages
-// matched by patterns, rooted at dir. Dependencies (the standard
-// library included) come from compiled export data, so only the
-// analyzed sources are parsed.
-func Packages(dir string, patterns ...string) (*Result, error) {
+// List fetches `go list` metadata for the patterns rooted at dir
+// without parsing or type-checking anything.
+func List(dir string, patterns ...string) (*Meta, error) {
 	pkgs, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
-	exports := make(map[string]string, len(pkgs))
-	var targets []listPkg
-	moduleDir := ""
+	m := &Meta{Pkgs: make(map[string]*MetaPkg, len(pkgs)), dir: dir}
 	for _, p := range pkgs {
 		if p.Error != nil {
 			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
 		}
+		mp := &MetaPkg{
+			ImportPath: p.ImportPath,
+			Dir:        p.Dir,
+			GoFiles:    p.GoFiles,
+			Export:     p.Export,
+			Imports:    p.Imports,
+			Main:       p.Module != nil && p.Module.Main,
+		}
+		m.Pkgs[mp.ImportPath] = mp
+		if mp.Main {
+			m.ModuleDir = p.Module.Dir
+			if len(mp.GoFiles) > 0 {
+				m.Targets = append(m.Targets, mp)
+			}
+		}
+	}
+	sort.Slice(m.Targets, func(i, j int) bool { return m.Targets[i].ImportPath < m.Targets[j].ImportPath })
+	return m, nil
+}
+
+// Load parses and type-checks the target packages for which only
+// returns true (nil loads every target). Dependencies — targets
+// excluded from the load included — resolve through compiled export
+// data, so skipping a target changes nothing for the packages that
+// import it.
+func (m *Meta) Load(only func(importPath string) bool) (*Result, error) {
+	exports := make(map[string]string, len(m.Pkgs))
+	for _, p := range m.Pkgs {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
-		}
-		if p.Module != nil && p.Module.Main {
-			targets = append(targets, p)
-			moduleDir = p.Module.Dir
 		}
 	}
 	fset := token.NewFileSet()
 	imp := Importer(fset, exports)
-	res := &Result{Fset: fset, ModuleDir: moduleDir}
-	for _, p := range targets {
-		if len(p.GoFiles) == 0 {
+	res := &Result{Fset: fset, ModuleDir: m.ModuleDir}
+	for _, p := range m.Targets {
+		if only != nil && !only(p.ImportPath) {
 			continue
 		}
 		files := make([]*ast.File, 0, len(p.GoFiles))
@@ -185,10 +244,19 @@ func Packages(dir string, patterns ...string) (*Result, error) {
 			Info:       info,
 		})
 	}
-	sort.Slice(res.Packages, func(i, j int) bool {
-		return res.Packages[i].ImportPath < res.Packages[j].ImportPath
-	})
 	return res, nil
+}
+
+// Packages loads, parses and type-checks the main-module packages
+// matched by patterns, rooted at dir. Dependencies (the standard
+// library included) come from compiled export data, so only the
+// analyzed sources are parsed.
+func Packages(dir string, patterns ...string) (*Result, error) {
+	m, err := List(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return m.Load(nil)
 }
 
 // DependencyOrder topologically sorts pkgs so every package follows all

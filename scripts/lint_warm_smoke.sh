@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# lint_warm_smoke.sh — asserts the incremental analysis cache works
+# (Makefile target `lint-warm`, part of `make ci`).
+#
+# Builds tdlint once, runs it cold against a fresh cache directory and
+# then warm, and asserts:
+#   1. the warm run reports hits only (misses=0 invalidated=0),
+#   2. the warm run is at least 5x faster than the cold one,
+#   3. -json findings are byte-identical uncached vs. cached, cold vs.
+#      warm, and at -jobs 1 vs. -jobs 8.
+# Timing uses millisecond wall clock; the warm measurement takes the
+# best of two runs to keep scheduler noise out of the ratio.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+fail() { echo "lint-warm: FAIL: $*" >&2; exit 1; }
+
+go build -o "$dir/tdlint" ./cmd/tdlint
+
+now_ms() { date +%s%3N; }
+
+cache="$dir/cache"
+
+# Cold: fresh cache, everything misses.
+t0=$(now_ms)
+"$dir/tdlint" -cache "$cache" -v ./... 2>"$dir/cold.err" >"$dir/cold.out" \
+  || fail "cold run reported findings or failed: $(cat "$dir/cold.out" "$dir/cold.err")"
+t1=$(now_ms)
+cold_ms=$((t1 - t0))
+grep -q 'misses=[1-9]' "$dir/cold.err" || fail "cold run should miss: $(grep 'cache:' "$dir/cold.err")"
+
+# Warm: everything hits; best of two runs.
+warm_ms=""
+for i in 1 2; do
+  t0=$(now_ms)
+  "$dir/tdlint" -cache "$cache" -v ./... 2>"$dir/warm.err" >"$dir/warm.out" \
+    || fail "warm run reported findings or failed: $(cat "$dir/warm.out" "$dir/warm.err")"
+  t1=$(now_ms)
+  ms=$((t1 - t0))
+  if [ -z "$warm_ms" ] || [ "$ms" -lt "$warm_ms" ]; then warm_ms=$ms; fi
+  grep -q 'misses=0 invalidated=0' "$dir/warm.err" \
+    || fail "warm run $i not fully cached: $(grep 'cache:' "$dir/warm.err")"
+done
+
+if [ $((warm_ms * 5)) -gt "$cold_ms" ]; then
+  fail "warm run not 5x faster: cold=${cold_ms}ms warm=${warm_ms}ms"
+fi
+
+# Byte-identity: uncached vs. cached, across job counts.
+"$dir/tdlint" -cache off  -jobs 1 -json ./... >"$dir/f.uncached1" 2>/dev/null || true
+"$dir/tdlint" -cache off  -jobs 8 -json ./... >"$dir/f.uncached8" 2>/dev/null || true
+"$dir/tdlint" -cache "$cache" -jobs 1 -json ./... >"$dir/f.cached1" 2>/dev/null || true
+"$dir/tdlint" -cache "$cache" -jobs 8 -json ./... >"$dir/f.cached8" 2>/dev/null || true
+for v in uncached8 cached1 cached8; do
+  cmp -s "$dir/f.uncached1" "$dir/f.$v" || fail "findings differ: uncached1 vs $v"
+done
+
+echo "lint-warm: OK cold=${cold_ms}ms warm=${warm_ms}ms ($(grep 'cache:' "$dir/warm.err"))"
