@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-self lint-warm lint-baseline test race race-serve bench bench-encode bench-serve encode-smoke telemetry-smoke fuzz-smoke serve-smoke loadgen-smoke fmt-check ci
+.PHONY: all build vet lint lint-self lint-warm lint-baseline test race race-serve bench bench-encode bench-serve encode-smoke telemetry-smoke fuzz-smoke serve-smoke registry-smoke loadgen-smoke fmt-check ci
 
 all: build
 
@@ -64,11 +64,13 @@ race:
 
 # Dedicated race gate for the serving layer: the reload-under-load test
 # (TestReloadUnderLoad) hammers /v1/classify from many goroutines while
-# snapshots hot-swap, and core's ClassifyDoc must stay safe under the
+# snapshots hot-swap, the registry wall proves single-flight loading and
+# LRU eviction under contention (TestAcquireSingleFlightStampede,
+# TestLRUEvictionOrder), and core's ClassifyDoc must stay safe under the
 # same concurrency. Kept separate from `race` so the serve wall stays a
 # named, required CI step even if the global race target is trimmed.
 race-serve:
-	$(GO) test -race -count=1 ./internal/serve/ ./internal/core/
+	$(GO) test -race -count=1 ./internal/serve/ ./internal/core/ ./internal/registry/
 
 # Short benchmark smoke over the evaluation-engine hot paths. Catches
 # benchmarks that stop compiling or panic; not a performance gate.
@@ -112,12 +114,20 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzMachineStep$$' -fuzztime 10s ./internal/lgp/
 	$(GO) test -run '^$$' -fuzz '^FuzzProcess$$' -fuzztime 10s ./internal/textproc/
 	$(GO) test -run '^$$' -fuzz '^FuzzClassifyRequest$$' -fuzztime 10s ./internal/serve/
+	$(GO) test -run '^$$' -fuzz '^FuzzManifest$$' -fuzztime 10s ./internal/registry/
 
 # End-to-end smoke of `tdc serve`: train a tiny model, boot the server
 # on an ephemeral port, drive classify/healthz/modelz/reload over curl
 # and assert the JSON fields scripts depend on.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# End-to-end smoke of the model registry: train two models, `tdc
+# publish` them as tenants, serve from `-models-dir`, assert per-tenant
+# routing/hashes, the /v1/models catalog, immutable republish rejection,
+# and that a third publish becomes visible via a /v1/reload rescan.
+registry-smoke:
+	./scripts/registry_smoke.sh
 
 # Loadgen smoke: a short closed-loop soak of `tdc loadgen` against an
 # in-process server (TestLoadgenSoak + the open-loop variant) asserting
@@ -141,4 +151,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet lint lint-warm build test race race-serve bench telemetry-smoke encode-smoke fuzz-smoke serve-smoke loadgen-smoke
+ci: fmt-check vet lint lint-warm build test race race-serve bench telemetry-smoke encode-smoke fuzz-smoke serve-smoke registry-smoke loadgen-smoke

@@ -10,7 +10,9 @@
 //	tdc compare  -method mi -profile quick
 //	tdc trace    -category earn -profile smoke
 //	tdc rule     -category earn -profile smoke
+//	tdc publish  -models-dir models -name earn -version v1 -snapshot model.json
 //	tdc serve    -model model.json -addr localhost:8080
+//	tdc serve    -models-dir models -resident 4
 //	tdc loadgen  -target http://localhost:8080 -duration 10s
 //
 // All subcommands are deterministic for a fixed -seed; serve and
@@ -52,6 +54,8 @@ func main() {
 		err = cmdTrain(os.Args[2:])
 	case "classify":
 		err = cmdClassify(os.Args[2:])
+	case "publish":
+		err = cmdPublish(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "loadgen":
@@ -86,7 +90,8 @@ Subcommands:
   rule       print a category's evolved RLGP rule
   train      train a model and persist it as JSON
   classify   classify SGML documents with a persisted model
-  serve      serve a persisted model over an HTTP JSON API
+  publish    publish a snapshot into a model registry directory
+  serve      serve a persisted model (or model registry) over an HTTP JSON API
   loadgen    benchmark a running serve instance with synthetic traffic
   stats      print corpus statistics
   sizing     search SOM geometries by quantisation error (AWC study)

@@ -18,14 +18,21 @@ import (
 )
 
 // cmdServe runs the long-lived classification server over a persisted
-// model snapshot.
+// model snapshot (-model) or a model registry directory (-models-dir,
+// multi-tenant: requests pick a model/version, cold models load lazily
+// into a bounded resident cache).
 //
 // Lifecycle: SIGHUP (or POST /v1/reload) re-reads -model and swaps it
-// in atomically; SIGINT/SIGTERM stop accepting connections, drain
-// in-flight requests for up to -drain, then exit.
+// in atomically — or rescans -models-dir in registry mode;
+// SIGINT/SIGTERM stop accepting connections, drain in-flight requests
+// for up to -drain, then exit.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	modelPath := fs.String("model", "model.json", "persisted model snapshot to serve")
+	modelsDir := fs.String("models-dir", "", "model registry directory to serve (multi-tenant; mutually exclusive with -model)")
+	defaultModel := fs.String("default-model", "", "model unnamed requests resolve to in registry mode (default: the sole published model)")
+	resident := fs.Int("resident", 0, "max models resident at once in registry mode (default 4)")
+	residentBytes := fs.Int64("resident-bytes", 0, "max summed snapshot bytes resident in registry mode (0 = unlimited)")
 	addr := fs.String("addr", "localhost:8080", "listen address (host:port; port 0 picks a free port)")
 	method := fs.String("method", "", "require the snapshot's feature-selection method (df, ig, mi, nouns, chi; empty accepts any)")
 	kernel := fs.String("kernel", "", "level-2 encode kernel: float64 (default), float32 (opt-in reduced precision), legacy (dense reference)")
@@ -63,8 +70,27 @@ func cmdServe(args []string) error {
 		return errors.New("-trace-sample needs -trace-events to write the records to")
 	}
 
+	// -model has a default for the single-model path; in registry mode it
+	// only counts when the user actually set it (then the modes conflict).
+	mp := *modelPath
+	if *modelsDir != "" {
+		modelSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "model" {
+				modelSet = true
+			}
+		})
+		if !modelSet {
+			mp = ""
+		}
+	}
+
 	srv, err := serve.New(serve.Config{
-		ModelPath:        *modelPath,
+		ModelPath:        mp,
+		ModelsDir:        *modelsDir,
+		DefaultModel:     *defaultModel,
+		Resident:         *resident,
+		ResidentBytes:    *residentBytes,
 		Method:           m,
 		Kernel:           *kernel,
 		Workers:          *workers,
@@ -100,7 +126,14 @@ func cmdServe(args []string) error {
 		select {
 		case sig := <-sigCh:
 			if sig == syscall.SIGHUP {
-				if snap, err := srv.Reload(); err != nil {
+				if srv.MultiTenant() {
+					if stats, err := srv.Rescan(); err != nil {
+						ts.log.Error("SIGHUP rescan failed; previous catalog keeps serving", "err", err)
+					} else {
+						ts.log.Info("SIGHUP rescan done", "models", stats.Models, "versions", stats.Versions,
+							"skipped", stats.Skipped, "temp_dirs", stats.TempDirs)
+					}
+				} else if snap, err := srv.Reload(); err != nil {
 					ts.log.Error("SIGHUP reload failed; previous model keeps serving", "err", err)
 				} else {
 					ts.log.Info("SIGHUP reload done", "sha256", snap.Info.SHA256)

@@ -169,6 +169,41 @@ func Load(r io.Reader) (*Model, error) {
 	return m, nil
 }
 
+// SnapshotHeader is the identity-bearing prefix of a persisted model
+// snapshot: the fields a registry manifest needs without the cost of
+// reconstructing the encoder and per-category programs. The same
+// validations Load applies to these fields apply here, so a header
+// that reads cleanly names a snapshot Load would at least get past
+// format checks on.
+type SnapshotHeader struct {
+	Version       int            `json:"version"`
+	FeatureMethod featsel.Method `json:"feature_method"`
+	Categories    []string       `json:"categories"`
+}
+
+// ReadSnapshotHeader decodes and validates just the snapshot header.
+// It is the cheap publish-time gate of the model registry: format
+// version, a known feature-selection method and a non-empty category
+// inventory — deep validation (encoder geometry, program bytes)
+// still happens on the first real Load.
+func ReadSnapshotHeader(r io.Reader) (SnapshotHeader, error) {
+	var h SnapshotHeader
+	if err := json.NewDecoder(r).Decode(&h); err != nil {
+		return SnapshotHeader{}, fmt.Errorf("core: decode snapshot header: %w", err)
+	}
+	if h.Version != snapshotVersion {
+		return SnapshotHeader{}, fmt.Errorf("core: unsupported model version %d (want %d)", h.Version, snapshotVersion)
+	}
+	if !featsel.Known(h.FeatureMethod) {
+		return SnapshotHeader{}, fmt.Errorf("core: snapshot records unknown feature-selection method %q (want one of %v)",
+			h.FeatureMethod, featsel.AllMethods())
+	}
+	if len(h.Categories) == 0 {
+		return SnapshotHeader{}, fmt.Errorf("core: snapshot header has no categories")
+	}
+	return h, nil
+}
+
 // SnapshotInfo identifies a persisted snapshot file a model was loaded
 // from. SHA256 is the hex digest of the exact on-disk bytes, so two
 // models compare equal iff their snapshots are byte-identical — the

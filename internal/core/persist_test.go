@@ -92,6 +92,42 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestReadSnapshotHeader(t *testing.T) {
+	m, _ := trainedModel(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadSnapshotHeader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSnapshotHeader: %v", err)
+	}
+	if h.Version != snapshotVersion {
+		t.Errorf("header version %d, want %d", h.Version, snapshotVersion)
+	}
+	if h.FeatureMethod != m.FeatureMethod() {
+		t.Errorf("header method %q, want %q", h.FeatureMethod, m.FeatureMethod())
+	}
+	if !reflect.DeepEqual(h.Categories, m.Categories()) {
+		t.Errorf("header categories %v, want %v", h.Categories, m.Categories())
+	}
+}
+
+func TestReadSnapshotHeaderRejects(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "not json",
+		"empty":         `{}`,
+		"wrong version": `{"version": 99, "feature_method": "df", "categories": ["earn"]}`,
+		"bad method":    `{"version": 1, "feature_method": "nope", "categories": ["earn"]}`,
+		"no categories": `{"version": 1, "feature_method": "df", "categories": []}`,
+	}
+	for name, body := range cases {
+		if _, err := ReadSnapshotHeader(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: header accepted", name)
+		}
+	}
+}
+
 func TestLoadRejectsInconsistentSnapshot(t *testing.T) {
 	m, _ := trainedModel(t)
 	var buf bytes.Buffer

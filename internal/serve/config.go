@@ -13,12 +13,32 @@ import (
 )
 
 // Config parameterises one classification server. The zero value of
-// every limit takes a serving-safe default; ModelPath is the only
-// required field.
+// every limit takes a serving-safe default; exactly one of ModelPath
+// (single-model mode) and ModelsDir (registry mode) is required.
 type Config struct {
 	// ModelPath is the persisted snapshot (core.Model.Save output) the
-	// server loads at start and re-reads on every reload.
+	// server loads at start and re-reads on every reload. Mutually
+	// exclusive with ModelsDir.
 	ModelPath string
+	// ModelsDir switches the server into registry mode: the directory is
+	// a model registry (<dir>/<model>/<version>/snapshot.bin +
+	// manifest.json), classify requests may name a model and version,
+	// and reloads become registry rescans. Mutually exclusive with
+	// ModelPath.
+	ModelsDir string
+	// DefaultModel is the model an unnamed classify request resolves to
+	// in registry mode. When empty, a sole published model is the
+	// implicit default; with several models, unnamed requests fail 400.
+	DefaultModel string
+	// Resident bounds how many models stay loaded at once in registry
+	// mode (default 4, 0 picks the default; use ResidentBytes for a
+	// size-based bound instead). Least-recently-used models are evicted
+	// from the cache — never out from under an in-flight request, which
+	// keeps its pinned snapshot.
+	Resident int
+	// ResidentBytes, when positive, bounds the summed snapshot sizes of
+	// resident models instead of (or in addition to) the count.
+	ResidentBytes int64
 	// Method, when non-empty, requires the snapshot header to record
 	// exactly this feature-selection method; loads (initial and reload)
 	// of a mismatching snapshot fail. Empty accepts whatever the
@@ -66,8 +86,20 @@ type Config struct {
 }
 
 func (c *Config) setDefaults() error {
-	if c.ModelPath == "" {
-		return fmt.Errorf("serve: Config.ModelPath is required")
+	if c.ModelPath == "" && c.ModelsDir == "" {
+		return fmt.Errorf("serve: one of Config.ModelPath or Config.ModelsDir is required")
+	}
+	if c.ModelPath != "" && c.ModelsDir != "" {
+		return fmt.Errorf("serve: Config.ModelPath and Config.ModelsDir are mutually exclusive")
+	}
+	if c.ModelsDir == "" && (c.DefaultModel != "" || c.Resident != 0 || c.ResidentBytes != 0) {
+		return fmt.Errorf("serve: DefaultModel/Resident/ResidentBytes need Config.ModelsDir (registry mode)")
+	}
+	if c.Resident < 0 || c.ResidentBytes < 0 {
+		return fmt.Errorf("serve: Resident and ResidentBytes must be >= 0")
+	}
+	if c.ModelsDir != "" && c.Resident == 0 {
+		c.Resident = 4
 	}
 	if c.Method != "" && !featsel.Known(c.Method) {
 		return fmt.Errorf("serve: unknown feature-selection method %q", c.Method)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"temporaldoc/internal/corpus"
+	"temporaldoc/internal/registry"
 	"temporaldoc/internal/telemetry"
 )
 
@@ -31,6 +32,12 @@ type ClassifyRequest struct {
 	ID        string             `json:"id,omitempty"`
 	Text      string             `json:"text,omitempty"`
 	Documents []ClassifyDocument `json:"documents,omitempty"`
+	// Model and Version select the serving model in registry mode; both
+	// default (empty model resolves to the configured or sole default,
+	// empty version to the model's latest). A single-model server only
+	// accepts its own synthetic names, SingleModelName/SingleModelVersion.
+	Model   string `json:"model,omitempty"`
+	Version string `json:"version,omitempty"`
 	// Scores asks for per-category scores and thresholds decisions in
 	// addition to the in-class category list.
 	Scores bool `json:"scores,omitempty"`
@@ -57,9 +64,13 @@ type DocResult struct {
 // ClassifyResponse is the POST /v1/classify reply. ModelHash is the
 // SHA-256 of the snapshot file that scored every document in Results —
 // one hash, because the whole request is pinned to one model even when
-// a hot-reload lands mid-flight.
+// a hot-reload or cache eviction lands mid-flight. Model and Version
+// name the resolved snapshot, so a request that left them to default
+// learns what it was actually served by.
 type ClassifyResponse struct {
 	ModelHash string      `json:"model_hash"`
+	Model     string      `json:"model"`
+	Version   string      `json:"version"`
 	Results   []DocResult `json:"results"`
 }
 
@@ -141,10 +152,25 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	docs := s.tokenize(reqDocs)
+	tr.Observe(telemetry.StageDecode, time.Since(decodeStart))
+
+	// Pin the snapshot before queueing: a cold registry model loads here,
+	// on the request goroutine under the request deadline, so a stampede
+	// of cold requests never ties up scoring workers.
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	j := &job{ctx: ctx, docs: s.tokenize(reqDocs), done: make(chan struct{})}
-	tr.Observe(telemetry.StageDecode, time.Since(decodeStart))
+	snap, status, err := s.resolveSnapshot(ctx, req.Model, req.Version)
+	if err != nil {
+		if status == http.StatusGatewayTimeout {
+			s.met.timeouts.Inc()
+		}
+		writeError(w, status, err.Error())
+		tr.Finish(reqID, len(reqDocs), "", status)
+		return
+	}
+
+	j := &job{ctx: ctx, docs: docs, snap: snap, done: make(chan struct{})}
 	if err := s.pool.submit(j); err != nil {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
 		writeError(w, http.StatusServiceUnavailable, err.Error())
@@ -183,6 +209,8 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	writeStart := time.Now()
 	resp := ClassifyResponse{
 		ModelHash: j.snap.Info.SHA256,
+		Model:     j.snap.Name,
+		Version:   j.snap.Version,
 		Results:   make([]DocResult, len(j.results)),
 	}
 	for i, preds := range j.results {
@@ -205,10 +233,16 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	tr.Finish(reqID, len(reqDocs), j.snap.Info.SHA256, http.StatusOK)
 }
 
-// HealthResponse is the GET /v1/healthz reply.
+// HealthResponse is the GET /v1/healthz reply. In registry mode the
+// hash identifies the default model's latest published version without
+// loading it; Model and Version name it. With no resolvable default
+// (several models, none configured) the identity fields stay empty —
+// the server is still healthy, it just has no single identity.
 type HealthResponse struct {
 	Status    string `json:"status"`
 	ModelHash string `json:"model_hash"`
+	Model     string `json:"model,omitempty"`
+	Version   string `json:"version,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -216,15 +250,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:    "ok",
-		ModelHash: s.handle.Current().Info.SHA256,
-	})
+	resp := HealthResponse{Status: "ok"}
+	if s.registry != nil {
+		if model, version, sha, ok := s.registry.DefaultVersionInfo(); ok {
+			resp.Model, resp.Version, resp.ModelHash = model, version, sha
+		}
+	} else {
+		resp.Model, resp.Version = SingleModelName, SingleModelVersion
+		resp.ModelHash = s.handle.Current().Info.SHA256
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
-// ModelzResponse is the GET /v1/modelz reply: the serving model's
-// identity plus a point-in-time telemetry snapshot.
+// ModelzResponse is the GET /v1/modelz reply in single-model mode: the
+// serving model's identity plus a point-in-time telemetry snapshot.
 type ModelzResponse struct {
+	Mode          string         `json:"mode"`
 	ModelHash     string         `json:"model_hash"`
 	SnapshotPath  string         `json:"snapshot_path"`
 	SnapshotBytes int64          `json:"snapshot_bytes"`
@@ -234,41 +275,83 @@ type ModelzResponse struct {
 	Metrics       map[string]any `json:"metrics,omitempty"`
 }
 
+// RegistryModelzResponse is the GET /v1/modelz reply in registry mode:
+// the full catalog (the /v1/models view) plus the telemetry snapshot.
+type RegistryModelzResponse struct {
+	Mode         string                 `json:"mode"`
+	DefaultModel string                 `json:"default_model,omitempty"`
+	Models       []registry.ModelStatus `json:"models"`
+	Metrics      map[string]any         `json:"metrics,omitempty"`
+}
+
 func (s *Server) handleModelz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	var metrics map[string]any
+	if s.cfg.Metrics != nil {
+		ms := s.cfg.Metrics.Snapshot()
+		metrics = map[string]any{
+			"counters":   ms.Counters,
+			"gauges":     ms.Gauges,
+			"histograms": ms.Histograms,
+		}
+	}
+	if s.registry != nil {
+		resp := RegistryModelzResponse{Mode: "registry", Models: s.registry.Models(), Metrics: metrics}
+		if def, ok := s.registry.Default(); ok {
+			resp.DefaultModel = def
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	snap := s.handle.Current()
-	resp := ModelzResponse{
+	writeJSON(w, http.StatusOK, ModelzResponse{
+		Mode:          "single",
 		ModelHash:     snap.Info.SHA256,
 		SnapshotPath:  snap.Info.Path,
 		SnapshotBytes: snap.Info.Bytes,
 		LoadedAt:      snap.LoadedAt,
 		FeatureMethod: string(snap.Model.FeatureMethod()),
 		Categories:    snap.Model.Categories(),
-	}
-	if s.cfg.Metrics != nil {
-		ms := s.cfg.Metrics.Snapshot()
-		resp.Metrics = map[string]any{
-			"counters":   ms.Counters,
-			"gauges":     ms.Gauges,
-			"histograms": ms.Histograms,
-		}
-	}
-	writeJSON(w, http.StatusOK, resp)
+		Metrics:       metrics,
+	})
 }
 
-// ReloadResponse is the POST /v1/reload reply.
+// ReloadResponse is the POST /v1/reload reply in single-model mode.
 type ReloadResponse struct {
+	Mode         string `json:"mode"`
 	ModelHash    string `json:"model_hash"`
 	PreviousHash string `json:"previous_hash"`
 	Changed      bool   `json:"changed"`
 }
 
+// RescanResponse is the POST /v1/reload reply in registry mode, where a
+// reload means re-reading the registry directory.
+type RescanResponse struct {
+	Mode string `json:"mode"`
+	registry.ScanStats
+}
+
+// errSingleModeRescan answers Rescan on a single-model server.
+var errSingleModeRescan = errors.New("serve: not in registry mode (rescan needs Config.ModelsDir)")
+
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.registry != nil {
+		stats, err := s.registry.Scan()
+		if err != nil {
+			s.cfg.Log.Error("rescan failed", "dir", s.cfg.ModelsDir, "err", err)
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		s.cfg.Log.Info("registry rescanned", "models", stats.Models, "versions", stats.Versions,
+			"skipped", stats.Skipped, "temp_dirs", stats.TempDirs)
+		writeJSON(w, http.StatusOK, RescanResponse{Mode: "registry", ScanStats: stats})
 		return
 	}
 	prev := s.handle.Current()
@@ -280,6 +363,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	s.cfg.Log.Info("model reloaded", "sha256", snap.Info.SHA256, "bytes", snap.Info.Bytes)
 	writeJSON(w, http.StatusOK, ReloadResponse{
+		Mode:         "single",
 		ModelHash:    snap.Info.SHA256,
 		PreviousHash: prev.Info.SHA256,
 		Changed:      snap.Info.SHA256 != prev.Info.SHA256,

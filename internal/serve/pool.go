@@ -16,19 +16,23 @@ import (
 // accept another job; the HTTP layer maps it to 503 + Retry-After.
 var ErrQueueFull = errors.New("serve: classification queue full")
 
-// job is one enqueued classification unit. The worker fills snap,
-// results, err and the stage durations, then closes done; the handler
-// reads them only after done is closed (or abandons the job entirely on
-// timeout), so the two goroutines never touch the same field
-// concurrently.
+// job is one enqueued classification unit. The handler pins snap
+// before submitting (so cold registry loads happen on the request
+// goroutine, never on a scoring worker); the worker fills results, err
+// and the stage durations, then closes done. The handler reads the
+// worker-owned fields only after done is closed (or abandons the job
+// entirely on timeout), so the two goroutines never touch the same
+// field concurrently.
 type job struct {
 	ctx  context.Context
 	docs []corpus.Document
+	// snap is the model snapshot this job is pinned to, set by the
+	// handler before submit and never changed after.
+	snap *ModelSnapshot
 	// enqueued is stamped by submit; the worker turns it into the
 	// queue-wait stage duration on dequeue.
 	enqueued time.Time
 
-	snap    *ModelSnapshot
 	results [][]core.Prediction
 	err     error
 	done    chan struct{}
@@ -43,10 +47,10 @@ type job struct {
 // matter how many HTTP connections arrive; the buffered queue absorbs
 // bursts and rejects (rather than buffers) overload beyond it.
 type pool struct {
-	handle *Handle
 	queue  chan *job
 	wg     sync.WaitGroup
 	stages *telemetry.StageRecorder
+	stats  *modelStats
 
 	depth    *telemetry.Gauge
 	rejected *telemetry.Counter
@@ -54,11 +58,11 @@ type pool struct {
 	docs     *telemetry.Counter
 }
 
-func newPool(workers, depth int, handle *Handle, reg *telemetry.Registry, stages *telemetry.StageRecorder) *pool {
+func newPool(workers, depth int, reg *telemetry.Registry, stages *telemetry.StageRecorder, stats *modelStats) *pool {
 	p := &pool{
-		handle:   handle,
 		queue:    make(chan *job, depth),
 		stages:   stages,
+		stats:    stats,
 		depth:    reg.Gauge("serve.queue.depth"),
 		rejected: reg.Counter("serve.queue.rejected"),
 		jobs:     reg.Counter("serve.jobs"),
@@ -109,16 +113,16 @@ func (p *pool) worker() {
 	}
 }
 
-// run scores every document of the job with one pinned model snapshot.
-// The snapshot is read exactly once per job: a concurrent reload swaps
-// the handle for later jobs but can never mix models inside this one.
+// run scores every document of the job with its one pinned model
+// snapshot. The handler resolved snap before submitting: a concurrent
+// reload or cache eviction affects later jobs but can never mix models
+// inside this one.
 func (p *pool) run(j *job) {
 	if err := j.ctx.Err(); err != nil {
 		j.err = err // expired while queued; skip the scoring work
 		return
 	}
-	snap := p.handle.Current()
-	j.snap = snap
+	snap := j.snap
 	ncats := len(snap.Model.Categories())
 	j.results = make([][]core.Prediction, 0, len(j.docs))
 	buf := make([]core.Prediction, 0, ncats*len(j.docs))
@@ -137,4 +141,5 @@ func (p *pool) run(j *job) {
 	}
 	p.jobs.Inc()
 	p.docs.Add(int64(len(j.docs)))
+	p.stats.add(snap.Name, len(j.docs))
 }

@@ -19,6 +19,11 @@ import (
 type ModelSnapshot struct {
 	Model *core.Model
 	Info  core.SnapshotInfo
+	// Name and Version identify the snapshot in the registry's
+	// namespace; the single-model path serves SingleModelName /
+	// SingleModelVersion so every response names its tenant either way.
+	Name    string
+	Version string
 	// LoadedAt is when this snapshot became current (wall clock,
 	// reporting only).
 	LoadedAt time.Time
@@ -94,7 +99,7 @@ func (h *Handle) Reload() (*ModelSnapshot, error) {
 	}
 	//lint:ignore determinism serving metadata: the load timestamp is reported on /v1/modelz, never reaches model state
 	now := time.Now()
-	snap := &ModelSnapshot{Model: m, Info: info, LoadedAt: now}
+	snap := &ModelSnapshot{Model: m, Info: info, Name: SingleModelName, Version: SingleModelVersion, LoadedAt: now}
 	h.cur.Store(snap)
 	h.reloads.Inc()
 	return snap, nil

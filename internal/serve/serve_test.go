@@ -333,7 +333,7 @@ func TestServeQueueFull503(t *testing.T) {
 	// Replace the pool with a worker-less one: submissions stay queued
 	// forever, so the queue fills deterministically.
 	s.pool.close()
-	s.pool = newPool(0, 1, s.handle, s.cfg.Metrics, s.stages)
+	s.pool = newPool(0, 1, s.cfg.Metrics, s.stages, s.stats)
 	hs := httptest.NewServer(s.Handler())
 	defer hs.Close()
 

@@ -80,6 +80,11 @@ type StatzResponse struct {
 	// stage recorder's histograms.
 	Latency StageStatz            `json:"latency"`
 	Stages  map[string]StageStatz `json:"stages"`
+
+	// Models counts classified requests/documents per served model name
+	// (single-model servers count under SingleModelName). Omitted until
+	// the first classified job.
+	Models map[string]ModelStatz `json:"models,omitempty"`
 }
 
 // handleStatz is GET /v1/statz.
@@ -97,8 +102,19 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) statz() StatzResponse {
 	snap := s.cfg.Metrics.Snapshot()
 	uptime := time.Since(s.started).Seconds()
+	// In registry mode the identity hash is the default model's latest
+	// published version (empty when no default resolves); per-model
+	// traffic is in Models either way.
+	var modelHash string
+	if s.registry != nil {
+		if _, _, sha, ok := s.registry.DefaultVersionInfo(); ok {
+			modelHash = sha
+		}
+	} else {
+		modelHash = s.handle.Current().Info.SHA256
+	}
 	resp := StatzResponse{
-		ModelHash:     s.handle.Current().Info.SHA256,
+		ModelHash:     modelHash,
 		UptimeSeconds: uptime,
 		Requests: StatzRequests{
 			Total:       snap.Counters["http.classify.requests"],
@@ -126,5 +142,6 @@ func (s *Server) statz() StatzResponse {
 	for st := telemetry.Stage(0); st < telemetry.NumStages; st++ {
 		resp.Stages[st.String()] = stageStatzFrom(snap.Histograms["serve.stage."+st.String()+".seconds"])
 	}
+	resp.Models = s.stats.snapshot()
 	return resp
 }

@@ -87,6 +87,20 @@ jq -e '.categories | length > 0' <<<"$modelz" >/dev/null || fail "modelz categor
 jq -e '.metrics.counters["serve.docs"] >= 3' <<<"$modelz" >/dev/null || fail "modelz serve.docs counter: $modelz"
 jq -e '.metrics.counters["http.classify.requests"] >= 3' <<<"$modelz" >/dev/null || fail "modelz http counters: $modelz"
 
+# --- models ----------------------------------------------------------
+# A single-model server presents itself as a one-entry registry:
+# mode "single", one model named "default" whose only version is
+# "current", resident, latest, and carrying the served hash.
+models=$(curl -fsS "$base/v1/models")
+[ "$(jq -r .mode <<<"$models")" = "single" ] || fail "models mode: $models"
+[ "$(jq -r .default_model <<<"$models")" = "default" ] || fail "models default_model: $models"
+[ "$(jq '.models | length' <<<"$models")" = "1" ] || fail "models count: $models"
+[ "$(jq -r '.models[0].name' <<<"$models")" = "default" ] || fail "models name: $models"
+[ "$(jq -r '.models[0].versions[0].version' <<<"$models")" = "current" ] || fail "models version: $models"
+[ "$(jq -r '.models[0].versions[0].sha256' <<<"$models")" = "$hash" ] || fail "models sha256: $models"
+jq -e '.models[0].versions[0].latest and .models[0].versions[0].resident' <<<"$models" >/dev/null \
+  || fail "models latest/resident flags: $models"
+
 # --- statz -----------------------------------------------------------
 # By here the script has made exactly 3 classify calls: single, batch
 # and malformed (400) — reload/healthz/modelz are other routes and must
